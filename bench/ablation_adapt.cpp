@@ -1,0 +1,47 @@
+// Ablation: RAC adaptation epoch length (DESIGN.md Sec. 6).
+//
+// The paper only says RAC "regularly checks the contention situation"; the
+// epoch length trades reaction speed (escaping near-livelock fast) against
+// estimator noise. This bench runs the hot Eigenbench view under adaptive
+// OrecEagerRedo across adaptation intervals and reports runtime, the final
+// quota, and aborts.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm;
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Ablation: RAC adaptation interval on hot Eigenbench / OrecEagerRedo",
+      argc, argv);
+  print_preamble("Ablation: adaptation interval", opts);
+
+  TextTable table("Adaptation interval ablation (adaptive RAC, hot view)");
+  table.header({"interval(events)", "Runtime(s)", "final Q", "#abort",
+                "delta(Q) end"});
+  for (std::uint64_t interval : {128ull, 512ull, 2048ull, 8192ull, 32768ull}) {
+    eigen::WorldConfig wc = eigen_base_config(opts, stm::Algo::kOrecEagerRedo,
+                                              eigen::Layout::kSingleView);
+    wc.objects = {eigen::paper_view1()};  // hot object only
+    wc.objects[0].loops = opts.loops;
+    wc.rac = core::RacMode::kAdaptive;
+    wc.adapt_interval = interval;
+    eigen::EigenWorld world(wc);
+    const eigen::RunReport r = world.run();
+    table.row({std::to_string(interval),
+               r.livelocked ? "livelock" : format_seconds(r.runtime_seconds),
+               std::to_string(r.views[0].final_quota),
+               human_count(r.views[0].stats.aborts),
+               format_delta(r.views[0].delta)});
+    std::cerr << "  [done] interval=" << interval << "\n";
+  }
+  table.print();
+  std::cout << "Expected shape: very long epochs react too slowly (more time "
+               "spent in the high-abort region before the first halving); "
+               "very short epochs base decisions on few events. The final "
+               "quota should reach a small value in every row.\n";
+  return 0;
+}

@@ -1,0 +1,355 @@
+#include "bench/harness.hpp"
+
+#include <iostream>
+#include <thread>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace votm::bench {
+
+BenchOptions parse_options(const std::string& summary, int argc, char** argv) {
+  CliFlags flags(summary);
+  flags.flag("threads", "16", "worker thread count (the paper's N)")
+      .flag("loops", "50",
+            "Eigenbench transactions per view per thread (paper: 100000)")
+      .flag("flows", "20000", "Intruder flow count -n (paper: 262144)")
+      .flag("cap", "12", "watchdog seconds per configuration (0 = unlimited)")
+      .flag("yield-every", "8",
+            "Eigenbench: yield after every n-th in-tx shared access "
+            "(0 disables; keeps transactions overlapping on small hosts)")
+      .flag("yield-in-tx", "0",
+            "Intruder: yield once inside each transaction (reintroduces "
+            "conflicts on single-core hosts at the cost of noisier cycle "
+            "accounting)")
+      .flag("seed", "1", "workload seed")
+      .flag("adapt-interval", "1024",
+            "RAC adaptation epoch length in commit+abort events")
+      .flag("backoff", "yield",
+            "abort-retry pacing: none | yield | exp (none = the paper's "
+            "immediate retry; yield approximates it on oversubscribed hosts)");
+  flags.parse(argc, argv);
+
+  BenchOptions opts;
+  opts.threads = static_cast<unsigned>(flags.i64("threads"));
+  opts.loops = static_cast<std::uint64_t>(flags.i64("loops"));
+  opts.flows = static_cast<std::uint64_t>(flags.i64("flows"));
+  opts.cap_seconds = flags.f64("cap");
+  opts.yield_every = static_cast<unsigned>(flags.i64("yield-every"));
+  opts.yield_in_tx = flags.boolean("yield-in-tx");
+  opts.seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  opts.adapt_interval = static_cast<std::uint64_t>(flags.i64("adapt-interval"));
+  const std::string backoff = flags.str("backoff");
+  if (backoff == "none") {
+    opts.backoff = BackoffPolicy::kNone;
+  } else if (backoff == "yield") {
+    opts.backoff = BackoffPolicy::kYield;
+  } else if (backoff == "exp") {
+    opts.backoff = BackoffPolicy::kExponential;
+  } else {
+    std::cerr << "unknown --backoff value: " << backoff << "\n";
+    std::exit(2);
+  }
+  return opts;
+}
+
+std::vector<unsigned> quota_sweep(unsigned n_threads) {
+  std::vector<unsigned> qs;
+  for (unsigned q = 1; q < n_threads; q *= 2) qs.push_back(q);
+  qs.push_back(n_threads);
+  return qs;
+}
+
+void print_preamble(const std::string& what, const BenchOptions& opts) {
+  std::cout << "# " << what << "\n"
+            << "# host hardware threads: " << std::thread::hardware_concurrency()
+            << ", N = " << opts.threads << ", cap = " << opts.cap_seconds
+            << "s, seed = " << opts.seed << "\n"
+            << "# Workload is scaled relative to the paper (see flags); "
+               "compare SHAPES, not absolute seconds.\n\n";
+}
+
+eigen::WorldConfig eigen_base_config(const BenchOptions& opts, stm::Algo algo,
+                                     eigen::Layout layout) {
+  eigen::WorldConfig wc;
+  wc.layout = layout;
+  eigen::ObjectParams hot = eigen::paper_view1();
+  eigen::ObjectParams cold = eigen::paper_view2();
+  hot.loops = opts.loops;
+  cold.loops = opts.loops;
+  wc.objects = {hot, cold};
+  wc.n_threads = opts.threads;
+  wc.algo = algo;
+  wc.seed = opts.seed;
+  wc.adapt_interval = opts.adapt_interval;
+  wc.time_cap_seconds = opts.cap_seconds;
+  wc.yield_every_n_accesses = opts.yield_every;
+  wc.backoff = opts.backoff;
+  return wc;
+}
+
+intruder::IntruderConfig intruder_base_config(const BenchOptions& opts,
+                                              stm::Algo algo,
+                                              intruder::Layout layout) {
+  intruder::IntruderConfig ic;
+  ic.gen.num_flows = opts.flows;
+  ic.gen.seed = opts.seed;
+  ic.layout = layout;
+  ic.n_threads = opts.threads;
+  ic.algo = algo;
+  ic.adapt_interval = opts.adapt_interval;
+  ic.time_cap_seconds = opts.cap_seconds;
+  ic.yield_in_tx = opts.yield_in_tx;
+  ic.backoff = opts.backoff;
+  return ic;
+}
+
+namespace {
+
+std::string cell_or_livelock(bool livelocked, std::string value) {
+  return livelocked ? "livelock" : value;
+}
+
+// Modelled runtime on a Q-wide machine: the measured transactional work
+// (aborted + successful cycles, summed over all views) spread over Q
+// workers — makespan Eq. 2 with measured quantities. This row carries the
+// paper's parallel shape when the host itself cannot (single core).
+std::string modelled_parallel_seconds(const stm::StatsSnapshot& s, unsigned q) {
+  const double work =
+      static_cast<double>(s.aborted_cycles + s.committed_cycles);
+  return format_seconds(work / (static_cast<double>(q) * cycles_per_second()));
+}
+
+void append_reference(TextTable& table, const std::vector<PaperRow>& reference) {
+  for (const PaperRow& row : reference) {
+    std::vector<std::string> cells = {row.label};
+    cells.insert(cells.end(), row.cells.begin(), row.cells.end());
+    table.row(std::move(cells));
+  }
+}
+
+}  // namespace
+
+void run_eigen_single_sweep(const std::string& title, stm::Algo algo,
+                            const BenchOptions& opts,
+                            const std::vector<PaperRow>& reference) {
+  print_preamble(title, opts);
+  const std::vector<unsigned> quotas = quota_sweep(opts.threads);
+
+  std::vector<std::string> header = {"Q"};
+  std::vector<std::string> runtime = {"Runtime(s)"},
+                           modelled = {"modelled-parallel(s)"},
+                           aborts = {"#abort"}, txs = {"#tx"},
+                           ab_cycles = {"cycles_aborted"},
+                           ok_cycles = {"cycles_successful"},
+                           deltas = {"delta(Q)"};
+  for (unsigned q : quotas) {
+    eigen::WorldConfig wc =
+        eigen_base_config(opts, algo, eigen::Layout::kSingleView);
+    wc.rac = core::RacMode::kFixed;
+    wc.fixed_quotas = {q};
+    eigen::EigenWorld world(wc);
+    const eigen::RunReport r = world.run();
+    const auto& s = r.views[0].stats;
+    const bool lv = r.livelocked;
+    header.push_back(std::to_string(q));
+    runtime.push_back(cell_or_livelock(lv, format_seconds(r.runtime_seconds)));
+    modelled.push_back(cell_or_livelock(lv, modelled_parallel_seconds(s, q)));
+    aborts.push_back(cell_or_livelock(lv, human_count(s.aborts)));
+    txs.push_back(cell_or_livelock(lv, human_count(s.commits)));
+    ab_cycles.push_back(cell_or_livelock(lv, human_count(s.aborted_cycles)));
+    ok_cycles.push_back(cell_or_livelock(lv, human_count(s.committed_cycles)));
+    deltas.push_back(cell_or_livelock(
+        lv, format_delta(rac::delta_q(s, q))));
+    std::cerr << "  [done] Q=" << q << (lv ? " (livelock)" : "") << "\n";
+  }
+
+  TextTable table(title);
+  table.header(header);
+  table.row(runtime);
+  table.row(modelled);
+  table.row(aborts);
+  table.row(txs);
+  table.row(ab_cycles);
+  table.row(ok_cycles);
+  table.row(deltas);
+  append_reference(table, reference);
+  table.print();
+}
+
+void run_eigen_multi_sweep(const std::string& title, stm::Algo algo,
+                           const BenchOptions& opts,
+                           const std::vector<PaperRow>& reference) {
+  print_preamble(title, opts);
+  const std::vector<unsigned> quotas = quota_sweep(opts.threads);
+
+  std::vector<std::string> header = {"Q1 (Q2=N)"};
+  std::vector<std::string> runtime = {"Runtime(s)"};
+  std::vector<std::string> modelled = {"modelled-parallel(s)"};
+  std::vector<std::string> aborts1 = {"#abort1"}, tx1 = {"#tx1"},
+                           deltas1 = {"delta(Q1)"};
+  std::vector<std::string> aborts2 = {"#abort2"}, tx2 = {"#tx2"},
+                           deltas2 = {"delta(Q2)"};
+  for (unsigned q1 : quotas) {
+    eigen::WorldConfig wc =
+        eigen_base_config(opts, algo, eigen::Layout::kMultiView);
+    wc.rac = core::RacMode::kFixed;
+    wc.fixed_quotas = {q1, opts.threads};
+    eigen::EigenWorld world(wc);
+    const eigen::RunReport r = world.run();
+    const bool lv = r.livelocked;
+    const auto& s1 = r.views[0].stats;
+    const auto& s2 = r.views[1].stats;
+    header.push_back(std::to_string(q1));
+    runtime.push_back(cell_or_livelock(lv, format_seconds(r.runtime_seconds)));
+    {
+      // Eq. 11: the multi-view makespan is the sum of per-view makespans,
+      // each view's measured work spread over its own quota.
+      const double work1 =
+          static_cast<double>(s1.aborted_cycles + s1.committed_cycles);
+      const double work2 =
+          static_cast<double>(s2.aborted_cycles + s2.committed_cycles);
+      const double secs = work1 / (q1 * cycles_per_second()) +
+                          work2 / (opts.threads * cycles_per_second());
+      modelled.push_back(cell_or_livelock(lv, format_seconds(secs)));
+    }
+    aborts1.push_back(cell_or_livelock(lv, human_count(s1.aborts)));
+    tx1.push_back(cell_or_livelock(lv, human_count(s1.commits)));
+    deltas1.push_back(cell_or_livelock(lv, format_delta(rac::delta_q(s1, q1))));
+    aborts2.push_back(cell_or_livelock(lv, human_count(s2.aborts)));
+    tx2.push_back(cell_or_livelock(lv, human_count(s2.commits)));
+    deltas2.push_back(
+        cell_or_livelock(lv, format_delta(rac::delta_q(s2, opts.threads))));
+    std::cerr << "  [done] Q1=" << q1 << (lv ? " (livelock)" : "") << "\n";
+  }
+
+  TextTable table(title);
+  table.header(header);
+  table.row(runtime);
+  table.row(modelled);
+  table.row(aborts1);
+  table.row(tx1);
+  table.row(deltas1);
+  table.row(aborts2);
+  table.row(tx2);
+  table.row(deltas2);
+  append_reference(table, reference);
+  table.print();
+}
+
+void run_intruder_single_sweep(const std::string& title, stm::Algo algo,
+                               const BenchOptions& opts,
+                               const std::vector<PaperRow>& reference) {
+  print_preamble(title, opts);
+  const std::vector<unsigned> quotas = quota_sweep(opts.threads);
+
+  std::vector<std::string> header = {"Q"};
+  std::vector<std::string> runtime = {"Runtime(s)"},
+                           modelled = {"modelled-parallel(s)"},
+                           aborts = {"#abort"}, txs = {"#tx"},
+                           deltas = {"delta(Q)"};
+  for (unsigned q : quotas) {
+    intruder::IntruderConfig ic =
+        intruder_base_config(opts, algo, intruder::Layout::kSingleView);
+    ic.rac = core::RacMode::kFixed;
+    ic.fixed_quotas = {q};
+    intruder::IntruderWorld world(ic);
+    const intruder::IntruderReport r = world.run();
+    const auto& s = r.views[0].stats;
+    const bool lv = r.livelocked;
+    header.push_back(std::to_string(q));
+    runtime.push_back(cell_or_livelock(lv, format_seconds(r.runtime_seconds)));
+    modelled.push_back(cell_or_livelock(lv, modelled_parallel_seconds(s, q)));
+    aborts.push_back(cell_or_livelock(lv, human_count(s.aborts)));
+    txs.push_back(cell_or_livelock(lv, human_count(s.commits)));
+    deltas.push_back(cell_or_livelock(lv, format_delta(rac::delta_q(s, q))));
+    std::cerr << "  [done] Q=" << q << (lv ? " (livelock)" : "")
+              << " flows=" << r.flows_completed
+              << " attacks=" << r.attacks_detected << "/" << r.attacks_expected
+              << "\n";
+  }
+
+  TextTable table(title);
+  table.header(header);
+  table.row(runtime);
+  table.row(modelled);
+  table.row(aborts);
+  table.row(txs);
+  table.row(deltas);
+  append_reference(table, reference);
+  table.print();
+}
+
+void run_adaptive_table(const std::string& title, stm::Algo algo,
+                        const BenchOptions& opts,
+                        const std::vector<PaperRow>& reference) {
+  print_preamble(title, opts);
+
+  auto eigen_cell = [&](eigen::Layout layout, core::RacMode rac) {
+    eigen::WorldConfig wc = eigen_base_config(opts, algo, layout);
+    wc.rac = rac;
+    eigen::EigenWorld world(wc);
+    const eigen::RunReport r = world.run();
+    if (r.livelocked) return std::string("livelock");
+    std::string cell = format_seconds(r.runtime_seconds) + "s";
+    if (rac == core::RacMode::kAdaptive) {
+      cell += " Q=";
+      for (std::size_t i = 0; i < r.views.size(); ++i) {
+        cell += (i ? "," : "") + std::to_string(r.views[i].final_quota);
+      }
+    }
+    cell += " " + human_count(r.total.aborts);
+    return cell;
+  };
+
+  auto intruder_cell = [&](intruder::Layout layout, core::RacMode rac) {
+    intruder::IntruderConfig ic = intruder_base_config(opts, algo, layout);
+    ic.rac = rac;
+    intruder::IntruderWorld world(ic);
+    const intruder::IntruderReport r = world.run();
+    if (r.livelocked) return std::string("livelock");
+    std::string cell = format_seconds(r.runtime_seconds) + "s";
+    if (rac == core::RacMode::kAdaptive) {
+      cell += " Q=";
+      for (std::size_t i = 0; i < r.views.size(); ++i) {
+        cell += (i ? "," : "") + std::to_string(r.views[i].final_quota);
+      }
+    }
+    cell += " " + human_count(r.total.aborts);
+    return cell;
+  };
+
+  TextTable table(title);
+  table.header({"Application", "single-view", "multi-view", "multi-TM", "TM"});
+
+  std::vector<std::string> eig = {"Eigenbench"};
+  eig.push_back(eigen_cell(eigen::Layout::kSingleView, core::RacMode::kAdaptive));
+  std::cerr << "  [done] eigen single-view\n";
+  eig.push_back(eigen_cell(eigen::Layout::kMultiView, core::RacMode::kAdaptive));
+  std::cerr << "  [done] eigen multi-view\n";
+  eig.push_back(eigen_cell(eigen::Layout::kMultiView, core::RacMode::kDisabled));
+  std::cerr << "  [done] eigen multi-TM\n";
+  eig.push_back(eigen_cell(eigen::Layout::kSingleView, core::RacMode::kDisabled));
+  std::cerr << "  [done] eigen TM\n";
+  table.row(eig);
+
+  std::vector<std::string> intr = {"Intruder"};
+  intr.push_back(
+      intruder_cell(intruder::Layout::kSingleView, core::RacMode::kAdaptive));
+  std::cerr << "  [done] intruder single-view\n";
+  intr.push_back(
+      intruder_cell(intruder::Layout::kMultiView, core::RacMode::kAdaptive));
+  std::cerr << "  [done] intruder multi-view\n";
+  intr.push_back(
+      intruder_cell(intruder::Layout::kMultiView, core::RacMode::kDisabled));
+  std::cerr << "  [done] intruder multi-TM\n";
+  intr.push_back(
+      intruder_cell(intruder::Layout::kSingleView, core::RacMode::kDisabled));
+  std::cerr << "  [done] intruder TM\n";
+  table.row(intr);
+
+  append_reference(table, reference);
+  table.print();
+}
+
+}  // namespace votm::bench

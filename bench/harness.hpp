@@ -1,0 +1,79 @@
+// Shared harness for the table-reproduction benches: common CLI flags,
+// world-config builders, and the sweep drivers that print one paper table
+// each (measured rows next to the paper's published rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/paper_reference.hpp"
+#include "eigenbench/eigenbench.hpp"
+#include "intruder/intruder.hpp"
+#include "util/cli.hpp"
+
+namespace votm::bench {
+
+struct BenchOptions {
+  unsigned threads = 16;        // the paper's N
+  std::uint64_t loops = 50;     // Eigenbench: transactions per view per thread
+                                // (paper: 100000 — scaled for this host)
+  std::uint64_t flows = 20000;  // Intruder: -n (paper: 262144 — scaled)
+  double cap_seconds = 12.0;    // watchdog per configuration
+  unsigned yield_every = 8;     // Eigenbench in-tx yield cadence (0 = off)
+  bool yield_in_tx = false;     // Intruder in-tx yield (see EXPERIMENTS.md)
+  std::uint64_t seed = 1;
+  std::uint64_t adapt_interval = 1024;
+
+  // Abort-retry pacing. The paper's configuration retries immediately
+  // (kNone): on its 16 hardware cores a retrying thread runs IN PARALLEL
+  // with the conflicting lock holder. On an oversubscribed host an
+  // immediate retry instead preempts the holder and spins uselessly, so
+  // the scheduling-faithful default here is kYield (retry after letting
+  // the holder run). Set --backoff none to see the raw spin behaviour.
+  BackoffPolicy backoff = BackoffPolicy::kYield;
+};
+
+// Registers the common flags on `flags`, parses argv, and returns options.
+BenchOptions parse_options(const std::string& summary, int argc, char** argv);
+
+// Quota sweep matching the paper: {1, 2, 4, ..., N}.
+std::vector<unsigned> quota_sweep(unsigned n_threads);
+
+// Prints host + scaling context before a table.
+void print_preamble(const std::string& what, const BenchOptions& opts);
+
+// ---- Eigenbench ------------------------------------------------------------
+
+eigen::WorldConfig eigen_base_config(const BenchOptions& opts, stm::Algo algo,
+                                     eigen::Layout layout);
+
+// Tables III / VII: single-view Eigenbench, fixed-Q sweep.
+void run_eigen_single_sweep(const std::string& title, stm::Algo algo,
+                            const BenchOptions& opts,
+                            const std::vector<PaperRow>& reference);
+
+// Tables V / IX: multi-view Eigenbench, Q1 swept, Q2 = N.
+void run_eigen_multi_sweep(const std::string& title, stm::Algo algo,
+                           const BenchOptions& opts,
+                           const std::vector<PaperRow>& reference);
+
+// ---- Intruder ----------------------------------------------------------------
+
+intruder::IntruderConfig intruder_base_config(const BenchOptions& opts,
+                                              stm::Algo algo,
+                                              intruder::Layout layout);
+
+// Tables IV / VIII: single-view Intruder, fixed-Q sweep.
+void run_intruder_single_sweep(const std::string& title, stm::Algo algo,
+                               const BenchOptions& opts,
+                               const std::vector<PaperRow>& reference);
+
+// ---- Adaptive tables (VI / X) ----------------------------------------------
+
+// Runs both applications through the four configurations
+// (single-view, multi-view, multi-TM, TM) with adaptive RAC.
+void run_adaptive_table(const std::string& title, stm::Algo algo,
+                        const BenchOptions& opts,
+                        const std::vector<PaperRow>& reference);
+
+}  // namespace votm::bench

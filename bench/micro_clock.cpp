@@ -1,0 +1,122 @@
+// Isolates the paper's Section III-D claim behind Table X: NOrec's single
+// global sequence lock is a contention point, and splitting shared data
+// into views — each its own NOrec instance with its own sequence lock —
+// removes it.
+//
+// Threads run small disjoint-data transactions; the only interaction is
+// through TM metadata. "shared" uses ONE engine for all threads (TM /
+// single-view); "split" gives each thread its OWN engine (multi-TM /
+// multi-view with one view per data partition). Any throughput gap is pure
+// metadata contention.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "stm/norec.hpp"
+#include "stm/orec_eager_redo.hpp"
+#include "util/cacheline.hpp"
+
+namespace {
+
+using namespace votm::stm;
+
+constexpr int kWritesPerTx = 4;
+
+struct PaddedData {
+  votm::CacheLinePadded<Word[16]> words;
+};
+
+void run_tx(TxEngine& engine, TxThread& tx, Word* data) {
+  atomically(engine, tx, [&](TxThread& t) {
+    for (int i = 0; i < kWritesPerTx; ++i) {
+      engine.write(t, &data[i], engine.read(t, &data[i]) + 1);
+    }
+  });
+}
+
+void BM_NOrecSharedClock(benchmark::State& state) {
+  static NOrecEngine* engine = nullptr;
+  static std::vector<PaddedData>* data = nullptr;
+  if (state.thread_index() == 0) {
+    engine = new NOrecEngine();
+    data = new std::vector<PaddedData>(static_cast<std::size_t>(state.threads()));
+  }
+  TxThread tx;
+  for (auto _ : state) {
+    run_tx(*engine, tx,
+           (*data)[static_cast<std::size_t>(state.thread_index())].words.value);
+  }
+  if (state.thread_index() == 0) {
+    delete engine;
+    delete data;
+  }
+}
+BENCHMARK(BM_NOrecSharedClock)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_NOrecSplitClocks(benchmark::State& state) {
+  static std::vector<std::unique_ptr<NOrecEngine>>* engines = nullptr;
+  static std::vector<PaddedData>* data = nullptr;
+  if (state.thread_index() == 0) {
+    engines = new std::vector<std::unique_ptr<NOrecEngine>>();
+    for (int i = 0; i < state.threads(); ++i) {
+      engines->push_back(std::make_unique<NOrecEngine>());
+    }
+    data = new std::vector<PaddedData>(static_cast<std::size_t>(state.threads()));
+  }
+  TxThread tx;
+  const auto me = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    run_tx(*(*engines)[me], tx, (*data)[me].words.value);
+  }
+  if (state.thread_index() == 0) {
+    delete engines;
+    delete data;
+  }
+}
+BENCHMARK(BM_NOrecSplitClocks)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_OrecSharedTable(benchmark::State& state) {
+  static OrecEagerRedoEngine* engine = nullptr;
+  static std::vector<PaddedData>* data = nullptr;
+  if (state.thread_index() == 0) {
+    engine = new OrecEagerRedoEngine();
+    data = new std::vector<PaddedData>(static_cast<std::size_t>(state.threads()));
+  }
+  TxThread tx;
+  for (auto _ : state) {
+    run_tx(*engine, tx,
+           (*data)[static_cast<std::size_t>(state.thread_index())].words.value);
+  }
+  if (state.thread_index() == 0) {
+    delete engine;
+    delete data;
+  }
+}
+BENCHMARK(BM_OrecSharedTable)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_OrecSplitTables(benchmark::State& state) {
+  static std::vector<std::unique_ptr<OrecEagerRedoEngine>>* engines = nullptr;
+  static std::vector<PaddedData>* data = nullptr;
+  if (state.thread_index() == 0) {
+    engines = new std::vector<std::unique_ptr<OrecEagerRedoEngine>>();
+    for (int i = 0; i < state.threads(); ++i) {
+      engines->push_back(std::make_unique<OrecEagerRedoEngine>());
+    }
+    data = new std::vector<PaddedData>(static_cast<std::size_t>(state.threads()));
+  }
+  TxThread tx;
+  const auto me = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    run_tx(*(*engines)[me], tx, (*data)[me].words.value);
+  }
+  if (state.thread_index() == 0) {
+    delete engines;
+    delete data;
+  }
+}
+BENCHMARK(BM_OrecSplitTables)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

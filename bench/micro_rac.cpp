@@ -1,0 +1,88 @@
+// Measures RAC's own overhead: the admit/leave gate per transaction and
+// the end-to-end view overhead versus views with RAC disabled (the paper's
+// multi-view vs multi-TM comparison in Tables VI/X shows this overhead is
+// small; this bench quantifies it directly).
+#include <benchmark/benchmark.h>
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+#include "rac/admission.hpp"
+
+namespace {
+
+using namespace votm;
+
+void BM_AdmitLeave(benchmark::State& state) {
+  static rac::AdmissionController* ac = nullptr;
+  if (state.thread_index() == 0) {
+    ac = new rac::AdmissionController(16, 16);
+  }
+  for (auto _ : state) {
+    ac->admit();
+    ac->leave();
+  }
+  if (state.thread_index() == 0) delete ac;
+}
+BENCHMARK(BM_AdmitLeave)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_AdmitLeaveContendedQuota(benchmark::State& state) {
+  // Quota 2 with more threads: exercises the blocking path.
+  static rac::AdmissionController* ac = nullptr;
+  if (state.thread_index() == 0) {
+    ac = new rac::AdmissionController(16, 2);
+  }
+  for (auto _ : state) {
+    ac->admit();
+    benchmark::DoNotOptimize(ac);
+    ac->leave();
+  }
+  if (state.thread_index() == 0) delete ac;
+}
+BENCHMARK(BM_AdmitLeaveContendedQuota)->ThreadRange(1, 8)->UseRealTime();
+
+core::ViewConfig view_config(core::RacMode rac) {
+  core::ViewConfig vc;
+  vc.algo = stm::Algo::kNOrec;
+  vc.max_threads = 16;
+  vc.rac = rac;
+  if (rac == core::RacMode::kFixed) vc.fixed_quota = 16;
+  vc.initial_bytes = 1 << 16;
+  return vc;
+}
+
+void view_tx_loop(benchmark::State& state, core::RacMode rac) {
+  static core::View* view = nullptr;
+  static stm::Word* cells = nullptr;
+  if (state.thread_index() == 0) {
+    view = new core::View(view_config(rac));
+    cells = static_cast<stm::Word*>(view->alloc(64 * sizeof(stm::Word) * 8));
+  }
+  const std::size_t slot = 64 * static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    view->execute([&] { core::vadd<stm::Word>(&cells[slot], 1); });
+  }
+  if (state.thread_index() == 0) {
+    delete view;
+    view = nullptr;
+    cells = nullptr;
+  }
+}
+
+void BM_ViewTxRacAdaptive(benchmark::State& state) {
+  view_tx_loop(state, core::RacMode::kAdaptive);
+}
+BENCHMARK(BM_ViewTxRacAdaptive)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ViewTxRacFixed(benchmark::State& state) {
+  view_tx_loop(state, core::RacMode::kFixed);
+}
+BENCHMARK(BM_ViewTxRacFixed)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_ViewTxRacDisabled(benchmark::State& state) {
+  view_tx_loop(state, core::RacMode::kDisabled);
+}
+BENCHMARK(BM_ViewTxRacDisabled)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

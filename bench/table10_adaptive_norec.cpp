@@ -1,0 +1,19 @@
+// Reproduces paper Table X: adaptive RAC with VOTM-NOrec, both
+// applications, four configurations.
+//
+// Expected shape: quotas settle at N everywhere (NOrec keeps delta << 1),
+// yet multi-view and multi-TM beat single-view and TM — the win comes from
+// partitioning the TM *metadata*: each view is a separate NOrec instance
+// with its own global sequence lock, so splitting the data splits the
+// clock contention (paper Sec. III-D). The effect is strongest on the
+// memory-intensive Intruder.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table X: adaptive RAC, VOTM-NOrec, all configurations", argc, argv);
+  run_adaptive_table("Table X: adaptive RAC / NOrec", votm::stm::Algo::kNOrec,
+                     opts, table10_reference());
+  return 0;
+}

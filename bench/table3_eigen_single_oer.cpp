@@ -1,0 +1,19 @@
+// Reproduces paper Table III: single-view Eigenbench with
+// VOTM-OrecEagerRedo, admission quota Q fixed to 1, 2, 4, 8, 16.
+//
+// Expected shape: runtime grows sharply with Q (aggressive encounter-time
+// locking degrades toward livelock at high quotas); Q = 1 (lock mode) is
+// optimal; delta(Q) > 1 in the degraded region (Observation 1 says:
+// decrease Q).
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table III: single-view Eigenbench, VOTM-OrecEagerRedo, fixed-Q sweep",
+      argc, argv);
+  run_eigen_single_sweep("Table III: single-view Eigenbench / OrecEagerRedo",
+                         votm::stm::Algo::kOrecEagerRedo, opts,
+                         table3_reference());
+  return 0;
+}

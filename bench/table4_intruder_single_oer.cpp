@@ -1,0 +1,18 @@
+// Reproduces paper Table IV: single-view Intruder with VOTM-OrecEagerRedo,
+// fixed-Q sweep.
+//
+// Expected shape: delta(Q) << 1 at every quota (Intruder's transactions are
+// short and conflict rarely), so restricting admission only serialises
+// useful work: runtime decreases monotonically as Q rises; Q = N optimal.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table IV: single-view Intruder, VOTM-OrecEagerRedo, fixed-Q sweep",
+      argc, argv);
+  run_intruder_single_sweep("Table IV: single-view Intruder / OrecEagerRedo",
+                            votm::stm::Algo::kOrecEagerRedo, opts,
+                            table4_reference());
+  return 0;
+}

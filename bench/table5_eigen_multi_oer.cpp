@@ -1,0 +1,20 @@
+// Reproduces paper Table V: multi-view Eigenbench with VOTM-OrecEagerRedo.
+// The hot view's quota Q1 sweeps {1..N} while the cold view is pinned at
+// Q2 = N (its Observation-1 optimum).
+//
+// Expected shape: delta(Q1) > 1 throughout, so Q1 = 1 is optimal; the
+// multi-view optimum beats Table III's single-view optimum (Observation 2)
+// because the cold view keeps running at full concurrency while the hot
+// view is restricted.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table V: multi-view Eigenbench, VOTM-OrecEagerRedo, Q1 sweep (Q2=N)",
+      argc, argv);
+  run_eigen_multi_sweep("Table V: multi-view Eigenbench / OrecEagerRedo",
+                        votm::stm::Algo::kOrecEagerRedo, opts,
+                        table5_reference());
+  return 0;
+}

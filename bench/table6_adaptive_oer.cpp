@@ -1,0 +1,20 @@
+// Reproduces paper Table VI: adaptive RAC with VOTM-OrecEagerRedo, both
+// applications, four configurations (single-view, multi-view, multi-TM,
+// plain TM).
+//
+// Expected shape: on Eigenbench, the RAC-less configurations (multi-TM,
+// TM) degrade toward livelock while adaptive RAC restricts the hot view's
+// quota and completes; multi-view beats single-view because the cold view
+// is not dragged down. On Intruder all configurations behave similarly
+// (contention is low; quotas settle at N).
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table VI: adaptive RAC, VOTM-OrecEagerRedo, all configurations", argc,
+      argv);
+  run_adaptive_table("Table VI: adaptive RAC / OrecEagerRedo",
+                     votm::stm::Algo::kOrecEagerRedo, opts, table6_reference());
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Table VII: single-view Eigenbench with VOTM-NOrec,
+// fixed-Q sweep.
+//
+// Expected shape: NOrec is livelock-free and detects conflicts at the next
+// read after they occur, so wasted work stays bounded: delta(Q) < 1
+// everywhere, runtime improves (or is flat) as Q rises, and Q = N is
+// optimal — the opposite of Table III's OrecEagerRedo behaviour.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table VII: single-view Eigenbench, VOTM-NOrec, fixed-Q sweep", argc,
+      argv);
+  run_eigen_single_sweep("Table VII: single-view Eigenbench / NOrec",
+                         votm::stm::Algo::kNOrec, opts, table7_reference());
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Table VIII: single-view Intruder with VOTM-NOrec,
+// fixed-Q sweep.
+//
+// Expected shape: like Table IV, delta(Q) << 1 and Q = N is fastest. NOrec
+// is slower than OrecEagerRedo on this memory-intensive workload because
+// every transaction serialises on the single view's global sequence lock —
+// the motivation for the multi-view split measured in Table X.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table VIII: single-view Intruder, VOTM-NOrec, fixed-Q sweep", argc,
+      argv);
+  run_intruder_single_sweep("Table VIII: single-view Intruder / NOrec",
+                            votm::stm::Algo::kNOrec, opts, table8_reference());
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces paper Table IX: multi-view Eigenbench with VOTM-NOrec, hot
+// view quota Q1 swept, cold view pinned at Q2 = N.
+//
+// Expected shape: Q1 = 1 is fastest — not because NOrec livelocks (it does
+// not), but because lock mode removes the TM instrumentation overhead from
+// the hot view entirely (the paper's Sec. III-D "manually setting Q of a
+// view to 1" optimisation). Between Q1 = 2 and N the runtime is nearly
+// flat.
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Table IX: multi-view Eigenbench, VOTM-NOrec, Q1 sweep (Q2=N)", argc,
+      argv);
+  run_eigen_multi_sweep("Table IX: multi-view Eigenbench / NOrec",
+                        votm::stm::Algo::kNOrec, opts, table9_reference());
+  return 0;
+}

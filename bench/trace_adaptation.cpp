@@ -1,0 +1,96 @@
+// Extension bench: quota-over-time traces of adaptive RAC.
+//
+// Prints, per adaptation epoch, the abort/commit mix, delta(Q) and the
+// quota decision — the mechanism behind the settled quotas of Tables VI/X:
+// the halving cascade that arrests a (near-)livelock on the hot Eigenbench
+// view, next to the flat Q = N trace of the uncontended cold view.
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/access.hpp"
+#include "core/yield.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_trace(const char* title, const votm::core::View& view) {
+  using votm::format_delta;
+  votm::TextTable table(title);
+  table.header({"events", "epoch commits", "epoch aborts", "delta(Q)",
+                "Q before", "Q after"});
+  for (const auto& p : view.adaptation_trace().snapshot()) {
+    table.row({std::to_string(p.event_count), std::to_string(p.epoch_commits),
+               std::to_string(p.epoch_aborts), format_delta(p.delta),
+               std::to_string(p.quota_before), std::to_string(p.quota_after)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace votm;
+  using namespace votm::bench;
+  const BenchOptions opts = parse_options(
+      "Extension: adaptive RAC quota-over-time trace (multi-view Eigenbench, "
+      "OrecEagerRedo)",
+      argc, argv);
+  print_preamble("Extension: adaptation trace", opts);
+
+  // A hand-built two-view world mirroring the Table V hot/cold setup, with
+  // tracing enabled on both views.
+  core::ViewConfig hot_vc;
+  hot_vc.algo = stm::Algo::kOrecEagerRedo;
+  hot_vc.max_threads = opts.threads;
+  hot_vc.rac = core::RacMode::kAdaptive;
+  hot_vc.adapt_interval = opts.adapt_interval / 4;
+  hot_vc.trace_adaptation = true;
+  // The paper's immediate retry: aborted transactions hammer the held
+  // orecs, so a descheduled lock holder triggers an abort storm — the
+  // delta spike the cascade reacts to.
+  hot_vc.backoff = BackoffPolicy::kNone;
+  hot_vc.initial_bytes = 1 << 22;
+  core::ViewConfig cold_vc = hot_vc;
+  cold_vc.backoff = opts.backoff;
+
+  core::View hot(hot_vc), cold(cold_vc);
+  auto* hot_array =
+      static_cast<stm::Word*>(hot.alloc(256 * sizeof(stm::Word)));
+  auto* cold_array =
+      static_cast<stm::Word*>(cold.alloc((1 << 14) * sizeof(stm::Word)));
+
+  const std::uint64_t iterations = opts.loops * 40;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < opts.threads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(opts.seed * 97 + t);
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        // Hot view: long clustered RMW transactions holding encounter-time
+        // locks across yields — doomed work is expensive and lock holders
+        // get descheduled mid-flight.
+        hot.execute([&] {
+          for (int k = 0; k < 24; ++k) {
+            core::vadd<stm::Word>(&hot_array[rng.below(256)], 1);
+            if (k % 8 == 7) core::yield_in_transaction();
+          }
+        });
+        // Cold view: disjoint per-thread slots, no conflicts.
+        cold.execute([&] {
+          core::vadd<stm::Word>(&cold_array[t * 64 + rng.below(64)], 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  print_trace("HOT view trace (expect halving cascade toward Q = 1)", hot);
+  print_trace("COLD view trace (expect flat Q = N)", cold);
+
+  std::cout << "CSV (hot view) for offline plotting:\n"
+            << hot.adaptation_trace().to_csv();
+  return 0;
+}

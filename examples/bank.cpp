@@ -1,0 +1,151 @@
+// Multi-view scenario from the paper's motivation (Sec. I): two shared
+// objects that are never accessed in the same transaction, one hot and one
+// cold. A bank keeps
+//   * a small, hammered settlement ledger (every transfer touches the same
+//     few clearing accounts)          -> HIGH contention view, and
+//   * a large customer-account table (transfers touch random accounts)
+//                                     -> LOW contention view.
+//
+// With a single view, RAC must throttle both workloads to tame the ledger;
+// with two views it restricts only the hot one. The example runs both
+// layouts and prints runtimes, per-view quotas and abort counts — a
+// miniature of the paper's Tables V/VI.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+#include "util/cycles.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace votm;
+using stm::Word;
+
+constexpr unsigned kThreads = 8;
+constexpr int kTransfersPerThread = 2000;
+constexpr std::size_t kCustomers = 4096;
+constexpr std::size_t kClearingAccounts = 2;  // the hot ledger
+constexpr Word kInitialBalance = 1000;
+
+struct Ledger {
+  Word* clearing;  // kClearingAccounts words, hot
+  Word* customers;  // kCustomers words, cold
+};
+
+// One workload iteration: a customer transfer (cold view/object) followed
+// by a settlement update (hot view/object). The two are separate
+// transactions — the precondition for putting them in separate views.
+template <typename HotTx, typename ColdTx>
+void run_worker(unsigned tid, HotTx&& hot_tx, ColdTx&& cold_tx) {
+  Xoshiro256 rng(1000 + tid);
+  for (int i = 0; i < kTransfersPerThread; ++i) {
+    const auto from = static_cast<std::size_t>(rng.below(kCustomers));
+    auto to = static_cast<std::size_t>(rng.below(kCustomers));
+    if (to == from) to = (to + 1) % kCustomers;
+    const Word amount = 1 + rng.below(5);
+    cold_tx(from, to, amount);
+    hot_tx(amount);
+  }
+}
+
+struct RunResult {
+  double seconds;
+  std::uint64_t aborts;
+  std::string quotas;
+};
+
+RunResult run(bool multi_view) {
+  core::ViewConfig vc;
+  vc.algo = stm::Algo::kOrecEagerRedo;
+  vc.max_threads = kThreads;
+  vc.rac = core::RacMode::kAdaptive;
+  vc.adapt_interval = 512;
+  vc.initial_bytes = (kCustomers + kClearingAccounts + 1024) * sizeof(Word);
+
+  // Layout: one view for everything, or hot/cold split.
+  core::View view_a(vc);
+  core::View view_b(vc);
+  core::View& hot_view = view_a;
+  core::View& cold_view = multi_view ? view_b : view_a;
+
+  Ledger ledger;
+  ledger.clearing =
+      static_cast<Word*>(hot_view.alloc(kClearingAccounts * sizeof(Word)));
+  ledger.customers =
+      static_cast<Word*>(cold_view.alloc(kCustomers * sizeof(Word)));
+  for (std::size_t i = 0; i < kClearingAccounts; ++i) {
+    core::vwrite<Word>(&ledger.clearing[i], 0);
+  }
+  for (std::size_t i = 0; i < kCustomers; ++i) {
+    core::vwrite<Word>(&ledger.customers[i], kInitialBalance);
+  }
+
+  auto hot_tx = [&](Word amount) {
+    hot_view.execute([&] {
+      // Every transfer updates both clearing accounts: guaranteed conflict.
+      core::vadd<Word>(&ledger.clearing[0], amount);
+      std::this_thread::yield();  // hold the encounter-time lock: contention
+      core::vadd<Word>(&ledger.clearing[1], amount);
+    });
+  };
+  auto cold_tx = [&](std::size_t from, std::size_t to, Word amount) {
+    cold_view.execute([&] {
+      const Word f = core::vread(&ledger.customers[from]);
+      const Word t = core::vread(&ledger.customers[to]);
+      core::vwrite<Word>(&ledger.customers[from], f - amount);
+      core::vwrite<Word>(&ledger.customers[to], t + amount);
+    });
+  };
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { run_worker(t, hot_tx, cold_tx); });
+  }
+  for (auto& th : threads) th.join();
+  const double seconds = timer.seconds();
+
+  // Verify conservation on the customer table.
+  Word total = 0;
+  for (std::size_t i = 0; i < kCustomers; ++i) {
+    total += core::vread(&ledger.customers[i]);
+  }
+  if (total != kCustomers * kInitialBalance) {
+    std::fprintf(stderr, "CONSERVATION VIOLATED: %llu\n",
+                 static_cast<unsigned long long>(total));
+    std::exit(1);
+  }
+
+  RunResult result;
+  result.seconds = seconds;
+  result.aborts = hot_view.stats().aborts +
+                  (multi_view ? cold_view.stats().aborts : 0);
+  result.quotas = std::to_string(hot_view.quota());
+  if (multi_view) result.quotas += "," + std::to_string(cold_view.quota());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bank example: hot settlement ledger + cold customer table, "
+              "%u threads, OrecEagerRedo, adaptive RAC\n\n",
+              kThreads);
+  const RunResult single = run(/*multi_view=*/false);
+  std::printf("single-view : %6.2fs  aborts=%-8llu final Q=%s\n",
+              single.seconds, static_cast<unsigned long long>(single.aborts),
+              single.quotas.c_str());
+  const RunResult multi = run(/*multi_view=*/true);
+  std::printf("multi-view  : %6.2fs  aborts=%-8llu final Q=%s\n", multi.seconds,
+              static_cast<unsigned long long>(multi.aborts),
+              multi.quotas.c_str());
+  std::printf("\nExpected: multi-view restricts only the ledger view "
+              "(Q1 small, Q2 = %u) and runs faster; single-view throttles "
+              "the customer transfers along with the ledger (paper "
+              "Observation 2).\n",
+              kThreads);
+  return 0;
+}

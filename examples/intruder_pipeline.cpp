@@ -1,0 +1,70 @@
+// The Intruder application as a library consumer would run it: generate a
+// packet stream, process it through the two-view VOTM pipeline (task queue
+// view + reassembly dictionary view), and report detection results and
+// per-view RAC statistics.
+//
+//   ./intruder_pipeline [--flows N] [--threads N] [--single-view]
+#include <cstdio>
+#include <cstring>
+
+#include "intruder/intruder.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+
+int main(int argc, char** argv) {
+  using namespace votm;
+
+  CliFlags flags("Intruder pipeline example (STAMP intruder on VOTM)");
+  flags.flag("flows", "2000", "number of flows to generate (-n)")
+      .flag("threads", "4", "worker threads")
+      .flag("attack-percent", "10", "percentage of flows carrying attacks (-a)")
+      .flag("max-length", "128", "maximum flow length in bytes (-l)")
+      .flag("seed", "1", "stream seed (-s)")
+      .flag("single-view", "0", "put queue and dictionary into ONE view")
+      .flag("algo", "norec", "STM algorithm: norec | oer | tml | cgl");
+  flags.parse(argc, argv);
+
+  intruder::IntruderConfig config;
+  config.gen.num_flows = static_cast<std::uint64_t>(flags.i64("flows"));
+  config.gen.attack_percent = static_cast<unsigned>(flags.i64("attack-percent"));
+  config.gen.max_length = static_cast<unsigned>(flags.i64("max-length"));
+  config.gen.seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  config.layout = flags.boolean("single-view") ? intruder::Layout::kSingleView
+                                               : intruder::Layout::kMultiView;
+  config.n_threads = static_cast<unsigned>(flags.i64("threads"));
+  config.algo = stm::algo_from_string(flags.str("algo"));
+  config.rac = core::RacMode::kAdaptive;
+
+  intruder::IntruderWorld world(config);
+  std::printf("processing %zu packets from %llu flows on %u threads (%s, %s)...\n",
+              world.stream().shuffled.size(),
+              static_cast<unsigned long long>(config.gen.num_flows),
+              config.n_threads, to_string(config.algo),
+              config.layout == intruder::Layout::kMultiView ? "multi-view"
+                                                            : "single-view");
+
+  const intruder::IntruderReport report = world.run();
+
+  std::printf("\nruntime             : %.3fs\n", report.runtime_seconds);
+  std::printf("flows reassembled   : %llu / %llu\n",
+              static_cast<unsigned long long>(report.flows_completed),
+              static_cast<unsigned long long>(config.gen.num_flows));
+  std::printf("attacks detected    : %llu (injected: %llu)\n",
+              static_cast<unsigned long long>(report.attacks_detected),
+              static_cast<unsigned long long>(report.attacks_expected));
+  for (std::size_t v = 0; v < report.views.size(); ++v) {
+    const auto& vr = report.views[v];
+    const char* name =
+        report.views.size() == 1 ? "queue+dict" : (v == 0 ? "queue" : "dict");
+    std::printf("view %zu (%-10s)   : commits=%s aborts=%s Q=%u delta=%s\n", v,
+                name, human_count(vr.stats.commits).c_str(),
+                human_count(vr.stats.aborts).c_str(), vr.final_quota,
+                format_delta(vr.delta).c_str());
+  }
+
+  const bool ok = report.flows_completed == config.gen.num_flows &&
+                  report.attacks_detected == report.attacks_expected;
+  std::printf("\n%s\n", ok ? "OK: byte-exact reassembly, all attacks found"
+                           : "FAILED: pipeline lost or misdetected flows");
+  return ok ? 0 : 1;
+}

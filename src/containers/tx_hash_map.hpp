@@ -1,0 +1,132 @@
+// TxHashMap: transactional chained hash map (word keys, word values) over
+// view memory — the generic sibling of Intruder's reassembly dictionary.
+//
+// Node layout (words): [0] key, [1] value, [2] next.
+// Nodes come from the view arena inside the inserting transaction, so an
+// abort undoes the allocation; erase defers the free to commit (the view
+// layer's transactional memory management).
+//
+// All mutating/reading methods must run inside a transaction on the owning
+// view unless the map is externally quiesced.
+#pragma once
+
+#include <cstddef>
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+
+namespace votm::containers {
+
+class TxHashMap {
+ public:
+  using Word = stm::Word;
+
+  TxHashMap(core::View& view, std::size_t bucket_count)
+      : view_(&view), bucket_count_(round_pow2(bucket_count)) {
+    buckets_ = static_cast<Word*>(view.alloc(bucket_count_ * sizeof(Word)));
+    for (std::size_t i = 0; i < bucket_count_; ++i) {
+      core::vwrite<Word>(&buckets_[i], 0);
+    }
+  }
+
+  // tx: inserts or updates; returns true if the key was newly inserted.
+  bool put(Word key, Word value) {
+    Word* bucket = bucket_for(key);
+    Word node = core::vread(bucket);
+    while (node != 0) {
+      Word* words = as_node(node);
+      if (core::vread(&words[0]) == key) {
+        core::vwrite<Word>(&words[1], value);
+        return false;
+      }
+      node = core::vread(&words[2]);
+    }
+    Word* fresh = static_cast<Word*>(view_->alloc(3 * sizeof(Word)));
+    core::vwrite<Word>(&fresh[0], key);
+    core::vwrite<Word>(&fresh[1], value);
+    core::vwrite<Word>(&fresh[2], core::vread(bucket));
+    core::vwrite<Word>(bucket, reinterpret_cast<Word>(fresh));
+    return true;
+  }
+
+  // tx: looks up key; returns true and writes *value_out when present.
+  bool get(Word key, Word* value_out) const {
+    Word node = core::vread(bucket_for(key));
+    while (node != 0) {
+      Word* words = as_node(node);
+      if (core::vread(&words[0]) == key) {
+        if (value_out != nullptr) *value_out = core::vread(&words[1]);
+        return true;
+      }
+      node = core::vread(&words[2]);
+    }
+    return false;
+  }
+
+  bool contains(Word key) const { return get(key, nullptr); }
+
+  // tx: removes key; returns true if it was present.
+  bool erase(Word key) {
+    Word* link = bucket_for(key);
+    Word node = core::vread(link);
+    while (node != 0) {
+      Word* words = as_node(node);
+      if (core::vread(&words[0]) == key) {
+        core::vwrite<Word>(link, core::vread(&words[2]));
+        view_->free(words);  // deferred to commit
+        return true;
+      }
+      link = &words[2];
+      node = core::vread(link);
+    }
+    return false;
+  }
+
+  // tx: applies fn(key, value) to every entry (consistent snapshot when run
+  // inside one transaction).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t b = 0; b < bucket_count_; ++b) {
+      Word node = core::vread(&buckets_[b]);
+      while (node != 0) {
+        Word* words = as_node(node);
+        fn(core::vread(&words[0]), core::vread(&words[1]));
+        node = core::vread(&words[2]);
+      }
+    }
+  }
+
+  // tx: entry count (O(n)).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for_each([&n](Word, Word) { ++n; });
+    return n;
+  }
+
+  std::size_t bucket_count() const noexcept { return bucket_count_; }
+
+ private:
+  static std::size_t round_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < std::max<std::size_t>(n, 2)) p <<= 1;
+    return p;
+  }
+
+  static Word* as_node(Word packed) noexcept {
+    return reinterpret_cast<Word*>(packed);
+  }
+
+  Word* bucket_for(Word key) const noexcept {
+    std::uint64_t x = key;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return &buckets_[x & (bucket_count_ - 1)];
+  }
+
+  core::View* view_;
+  std::size_t bucket_count_;
+  Word* buckets_ = nullptr;
+};
+
+}  // namespace votm::containers

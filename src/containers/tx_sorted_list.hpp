@@ -1,0 +1,103 @@
+// TxSortedList: transactional sorted singly-linked list (ascending, with
+// duplicates) — the generic form of the paper's Figures 1-2 linked-list
+// example, with erase and lookup added.
+//
+// Node layout (words): [0] value, [1] next.
+#pragma once
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+
+namespace votm::containers {
+
+class TxSortedList {
+ public:
+  using Word = stm::Word;
+
+  explicit TxSortedList(core::View& view) : view_(&view) {
+    head_ = static_cast<Word*>(view.alloc(sizeof(Word)));
+    core::vwrite<Word>(head_, 0);
+  }
+
+  // tx: inserts value keeping ascending order (duplicates allowed).
+  void insert(Word value) {
+    Word* node = static_cast<Word*>(view_->alloc(2 * sizeof(Word)));
+    core::vwrite<Word>(&node[0], value);
+
+    Word* link = head_;
+    Word next = core::vread(link);
+    while (next != 0 && core::vread(&as_node(next)[0]) < value) {
+      link = &as_node(next)[1];
+      next = core::vread(link);
+    }
+    core::vwrite<Word>(&node[1], next);
+    core::vwrite<Word>(link, reinterpret_cast<Word>(node));
+  }
+
+  // tx: true if value is present.
+  bool contains(Word value) const {
+    Word node = core::vread(head_);
+    while (node != 0) {
+      const Word v = core::vread(&as_node(node)[0]);
+      if (v == value) return true;
+      if (v > value) return false;  // sorted: passed the spot
+      node = core::vread(&as_node(node)[1]);
+    }
+    return false;
+  }
+
+  // tx: removes one instance of value; false if absent.
+  bool erase(Word value) {
+    Word* link = head_;
+    Word node = core::vread(link);
+    while (node != 0) {
+      Word* words = as_node(node);
+      const Word v = core::vread(&words[0]);
+      if (v == value) {
+        core::vwrite<Word>(link, core::vread(&words[1]));
+        view_->free(words);
+        return true;
+      }
+      if (v > value) return false;
+      link = &words[1];
+      node = core::vread(link);
+    }
+    return false;
+  }
+
+  // tx: O(n) size.
+  std::size_t size() const {
+    std::size_t n = 0;
+    Word node = core::vread(head_);
+    while (node != 0) {
+      ++n;
+      node = core::vread(&as_node(node)[1]);
+    }
+    return n;
+  }
+
+  // tx: true iff values ascend (validation helper for tests).
+  bool is_sorted() const {
+    Word node = core::vread(head_);
+    Word prev = 0;
+    bool first = true;
+    while (node != 0) {
+      const Word v = core::vread(&as_node(node)[0]);
+      if (!first && v < prev) return false;
+      prev = v;
+      first = false;
+      node = core::vread(&as_node(node)[1]);
+    }
+    return true;
+  }
+
+ private:
+  static Word* as_node(Word packed) noexcept {
+    return reinterpret_cast<Word*>(packed);
+  }
+
+  core::View* view_;
+  Word* head_ = nullptr;
+};
+
+}  // namespace votm::containers

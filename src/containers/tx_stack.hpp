@@ -1,0 +1,62 @@
+// TxStack: transactional LIFO over view memory.
+//
+// A single head pointer makes push/pop serialise transactionally (every
+// operation conflicts with every other) — useful both as a building block
+// and as a worst-case contention generator for RAC experiments.
+//
+// Node layout (words): [0] value, [1] next.
+#pragma once
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+
+namespace votm::containers {
+
+class TxStack {
+ public:
+  using Word = stm::Word;
+
+  explicit TxStack(core::View& view) : view_(&view) {
+    head_ = static_cast<Word*>(view.alloc(sizeof(Word)));
+    core::vwrite<Word>(head_, 0);
+  }
+
+  // tx: pushes value.
+  void push(Word value) {
+    Word* node = static_cast<Word*>(view_->alloc(2 * sizeof(Word)));
+    core::vwrite<Word>(&node[0], value);
+    core::vwrite<Word>(&node[1], core::vread(head_));
+    core::vwrite<Word>(head_, reinterpret_cast<Word>(node));
+  }
+
+  // tx: pops into *value_out; false when empty.
+  bool pop(Word* value_out) {
+    const Word top = core::vread(head_);
+    if (top == 0) return false;
+    Word* node = reinterpret_cast<Word*>(top);
+    if (value_out != nullptr) *value_out = core::vread(&node[0]);
+    core::vwrite<Word>(head_, core::vread(&node[1]));
+    view_->free(node);  // deferred to commit
+    return true;
+  }
+
+  // tx: true when no elements are present.
+  bool empty() const { return core::vread(head_) == 0; }
+
+  // tx: O(n) element count.
+  std::size_t size() const {
+    std::size_t n = 0;
+    Word node = core::vread(head_);
+    while (node != 0) {
+      ++n;
+      node = core::vread(&reinterpret_cast<Word*>(node)[1]);
+    }
+    return n;
+  }
+
+ private:
+  core::View* view_;
+  Word* head_ = nullptr;
+};
+
+}  // namespace votm::containers

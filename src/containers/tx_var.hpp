@@ -1,0 +1,42 @@
+// TxVar<T>: a single transactional variable living in a view's arena.
+//
+// The smallest useful container: owns one word-sized slot and exposes
+// typed get/set that route through the view's STM when called inside a
+// transaction (and plain atomic accesses outside one).
+#pragma once
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+
+namespace votm::containers {
+
+template <typename T>
+class TxVar {
+  static_assert(sizeof(T) <= sizeof(stm::Word) &&
+                    std::is_trivially_copyable_v<T>,
+                "TxVar holds word-sized trivially copyable types");
+
+ public:
+  explicit TxVar(core::View& view, T initial = T{})
+      : view_(&view), slot_(static_cast<T*>(view.alloc(sizeof(stm::Word)))) {
+    core::vwrite(slot_, initial);
+  }
+
+  T get() const { return core::vread(slot_); }
+  void set(T value) { core::vwrite(slot_, value); }
+
+  // Read-modify-write helper (must run inside a transaction for atomicity
+  // with respect to other accesses).
+  template <typename Fn>
+  void update(Fn&& fn) {
+    set(fn(get()));
+  }
+
+  core::View& view() const noexcept { return *view_; }
+
+ private:
+  core::View* view_;
+  T* slot_;
+};
+
+}  // namespace votm::containers

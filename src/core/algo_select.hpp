@@ -1,0 +1,84 @@
+// Per-view adaptive TM algorithm selection — the paper's Sec. IV-C
+// direction ("Adaptive TM is orthogonal to VOTM. It can be adopted by
+// VOTM, where different views can have different access patterns, and
+// therefore have different optimal TM algorithms").
+//
+// The selector is a small hysteresis rule distilled from the paper's own
+// findings rather than the learned policies of Wang et al. [18]:
+//   * Encounter-time locking (OrecEagerRedo) livelocks under sustained
+//     conflict storms (Tables III/V): if the per-epoch abort/commit ratio
+//     explodes, recommend the livelock-free commit-time NOrec.
+//   * NOrec serialises all commits and validations on one sequence lock,
+//     which costs on metadata-bound views with LOW contention (Table X's
+//     Intruder): there, recommend OrecEagerRedo.
+// A cooldown prevents flapping; decisions are made at quota-adaptation
+// epochs, on the same statistics RAC already collects.
+#pragma once
+
+#include <cstdint>
+
+#include "stm/factory.hpp"
+#include "stm/txstats.hpp"
+
+namespace votm::core {
+
+struct AlgoAdaptConfig {
+  bool enabled = false;
+
+  // Abort/commit ratio above which an encounter-time view is declared
+  // storm-bound and moved to NOrec. (Paper Table III at Q=8: ~1600.)
+  double storm_abort_ratio = 8.0;
+
+  // delta(Q) and abort/commit ratio below which a NOrec view is considered
+  // contention-free enough that orec-based locking is safe and its
+  // decentralised metadata pays off.
+  double calm_delta = 0.05;
+  double calm_abort_ratio = 0.05;
+
+  // Epochs to wait between switches.
+  unsigned cooldown_epochs = 8;
+};
+
+class AlgoSelector {
+ public:
+  explicit AlgoSelector(AlgoAdaptConfig config) : config_(config) {}
+
+  // One decision step, called once per adaptation epoch with that epoch's
+  // statistics and delta estimate. Returns the algorithm the view should
+  // run (== current when no change is warranted).
+  stm::Algo next_algo(stm::Algo current, const stm::StatsSnapshot& epoch,
+                      double delta) noexcept {
+    ++epoch_;
+    if (!config_.enabled) return current;
+    if (epoch_ < cooldown_until_) return current;
+    if (epoch.commits == 0 && epoch.aborts == 0) return current;
+
+    const double abort_ratio =
+        epoch.commits == 0
+            ? static_cast<double>(epoch.aborts)  // all-abort epoch: storm
+            : static_cast<double>(epoch.aborts) /
+                  static_cast<double>(epoch.commits);
+
+    stm::Algo proposal = current;
+    if ((current == stm::Algo::kOrecEagerRedo ||
+         current == stm::Algo::kOrecLazy) &&
+        abort_ratio > config_.storm_abort_ratio) {
+      proposal = stm::Algo::kNOrec;
+    } else if (current == stm::Algo::kNOrec &&
+               abort_ratio < config_.calm_abort_ratio &&
+               delta < config_.calm_delta) {
+      proposal = stm::Algo::kOrecEagerRedo;
+    }
+    if (proposal != current) {
+      cooldown_until_ = epoch_ + config_.cooldown_epochs;
+    }
+    return proposal;
+  }
+
+ private:
+  AlgoAdaptConfig config_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t cooldown_until_ = 0;
+};
+
+}  // namespace votm::core

@@ -1,0 +1,141 @@
+#include "core/arena.hpp"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace votm::core {
+
+namespace {
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+Arena::Arena(std::size_t initial_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  add_segment_locked(std::max<std::size_t>(initial_bytes, kHeaderSize + kMinPayload));
+}
+
+void Arena::add_segment_locked(std::size_t bytes) {
+  const std::size_t usable = round_up(bytes, kAlignment);
+  auto segment = std::make_unique<std::byte[]>(usable + kAlignment);
+  // Align the segment base so headers and payloads stay aligned.
+  auto base = reinterpret_cast<std::uintptr_t>(segment.get());
+  std::byte* aligned =
+      segment.get() + (round_up(base, kAlignment) - base);
+  segment_spans_.emplace_back(aligned, usable);
+  segments_.push_back(std::move(segment));
+  capacity_ += usable;
+  insert_free_locked(aligned, usable - kHeaderSize);
+}
+
+void Arena::insert_free_locked(std::byte* region, std::size_t payload) {
+  // The free region is laid out as [header space][payload]; we thread the
+  // FreeBlock through the header space, keeping the list address-ordered
+  // and coalescing with adjacent free neighbours.
+  auto* blk = reinterpret_cast<FreeBlock*>(region);
+  blk->size = payload;
+  blk->next = nullptr;
+
+  FreeBlock** cursor = &free_head_;
+  while (*cursor != nullptr && reinterpret_cast<std::byte*>(*cursor) < region) {
+    cursor = &(*cursor)->next;
+  }
+  blk->next = *cursor;
+  *cursor = blk;
+
+  // Coalesce blk with its successor, then the predecessor with blk.
+  auto end_of = [](FreeBlock* b) {
+    return reinterpret_cast<std::byte*>(b) + kHeaderSize + b->size;
+  };
+  if (blk->next != nullptr &&
+      end_of(blk) == reinterpret_cast<std::byte*>(blk->next)) {
+    blk->size += kHeaderSize + blk->next->size;
+    blk->next = blk->next->next;
+  }
+  if (cursor != &free_head_) {
+    auto* prev = reinterpret_cast<FreeBlock*>(
+        reinterpret_cast<std::byte*>(cursor) - offsetof(FreeBlock, next));
+    if (end_of(prev) == reinterpret_cast<std::byte*>(blk)) {
+      prev->size += kHeaderSize + blk->size;
+      prev->next = blk->next;
+    }
+  }
+}
+
+void* Arena::alloc(std::size_t size) {
+  const std::size_t payload = round_up(std::max(size, kMinPayload), kAlignment);
+  std::lock_guard<std::mutex> lk(mu_);
+
+  FreeBlock** cursor = &free_head_;
+  while (*cursor != nullptr) {
+    FreeBlock* blk = *cursor;
+    if (blk->size >= payload) {
+      const std::size_t remainder = blk->size - payload;
+      FreeBlock* next = blk->next;
+      std::byte* base = reinterpret_cast<std::byte*>(blk);
+      if (remainder >= kHeaderSize + kMinPayload) {
+        // Split: tail of the block stays free.
+        std::byte* tail = base + kHeaderSize + payload;
+        auto* tail_blk = reinterpret_cast<FreeBlock*>(tail);
+        tail_blk->size = remainder - kHeaderSize;
+        tail_blk->next = next;
+        *cursor = tail_blk;
+        blk->size = payload;
+      } else {
+        *cursor = next;
+      }
+      // FreeBlock and BlockHeader overlay the same header space (size is
+      // the first member of both); blk->size now holds the granted payload.
+      const std::size_t granted = blk->size;
+      auto* hdr = reinterpret_cast<BlockHeader*>(base);
+      hdr->size = granted;
+      hdr->magic = kMagicAllocated;
+      allocated_ += granted;
+      return base + kHeaderSize;
+    }
+    cursor = &blk->next;
+  }
+  throw std::bad_alloc();
+}
+
+void Arena::free(void* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  std::byte* base = static_cast<std::byte*>(ptr) - kHeaderSize;
+  auto* hdr = reinterpret_cast<BlockHeader*>(base);
+  if (hdr->magic != kMagicAllocated) {
+    throw std::invalid_argument(
+        hdr->magic == kMagicFreed ? "double free in view arena"
+                                  : "free of a pointer not from this view");
+  }
+  hdr->magic = kMagicFreed;
+  allocated_ -= hdr->size;
+  insert_free_locked(base, hdr->size);
+}
+
+void Arena::extend(std::size_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  add_segment_locked(bytes);
+}
+
+std::size_t Arena::capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return capacity_;
+}
+
+std::size_t Arena::allocated() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return allocated_;
+}
+
+bool Arena::owns(const void* ptr) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [base, size] : segment_spans_) {
+    if (ptr >= base && ptr < base + size) return true;
+  }
+  return false;
+}
+
+}  // namespace votm::core

@@ -1,0 +1,78 @@
+// Per-view memory arena backing malloc_block / free_block / brk_view.
+//
+// Views bundle data and concurrency control (paper Sec. I: "This
+// data-centric model bundles concurrency control and data access
+// together"), so every view owns its own heap: a segment list with a
+// first-fit, address-ordered free list with coalescing. All blocks are
+// word-aligned (the STM layer is word-granular).
+//
+// Allocation inside transactions is handled a level up (View logs
+// transactional allocations and defers frees to commit); the arena itself
+// is a plain thread-safe allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace votm::core {
+
+class Arena {
+ public:
+  // Alignment of every returned block; >= alignof(max_align_t) not needed
+  // for the transactional workloads, 16 keeps SSE-friendly layouts happy.
+  static constexpr std::size_t kAlignment = 16;
+
+  explicit Arena(std::size_t initial_bytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates `size` bytes; throws std::bad_alloc when no segment can
+  // satisfy the request (views have programmer-declared sizes; exhaustion
+  // is a programming error, matching the paper's create_view(size) model —
+  // call extend()/brk_view to grow).
+  void* alloc(std::size_t size);
+
+  // Returns a block to the free list; ptr must come from this arena.
+  void free(void* ptr);
+
+  // brk_view: adds a fresh segment of `bytes`.
+  void extend(std::size_t bytes);
+
+  std::size_t capacity() const;
+  std::size_t allocated() const;  // bytes currently handed out (payloads)
+
+  // True if ptr lies within one of this arena's segments (diagnostics).
+  bool owns(const void* ptr) const;
+
+ private:
+  struct BlockHeader {
+    std::size_t size;   // payload bytes
+    std::uint64_t magic;  // guards double-free / foreign pointers
+  };
+  struct FreeBlock {
+    std::size_t size;  // payload bytes of the free region
+    FreeBlock* next;   // address-ordered
+  };
+
+  static constexpr std::uint64_t kMagicAllocated = 0x766f746d616c6c6fULL;
+  static constexpr std::uint64_t kMagicFreed = 0x766f746d66726565ULL;
+  static constexpr std::size_t kHeaderSize =
+      (sizeof(BlockHeader) + kAlignment - 1) / kAlignment * kAlignment;
+  static constexpr std::size_t kMinPayload = kAlignment;
+
+  void add_segment_locked(std::size_t bytes);
+  void insert_free_locked(std::byte* region, std::size_t payload);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<std::byte[]>> segments_;
+  std::vector<std::pair<const std::byte*, std::size_t>> segment_spans_;
+  FreeBlock* free_head_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace votm::core

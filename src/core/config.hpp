@@ -1,0 +1,61 @@
+// View configuration: algorithm choice, RAC mode, adaptation knobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/algo_select.hpp"
+#include "rac/policy.hpp"
+#include "stm/factory.hpp"
+#include "util/backoff.hpp"
+
+namespace votm::core {
+
+// How admission control is applied to a view. The paper's four evaluated
+// configurations map as:
+//   single-view  = one view,   kAdaptive (or kFixed for the Q sweeps)
+//   multi-view   = many views, kAdaptive (or kFixed)
+//   multi-TM     = many views, kDisabled ("access to each view is
+//                  completely free without using the RAC mechanism")
+//   TM           = one view,   kDisabled (plain RSTM)
+enum class RacMode : std::uint8_t {
+  kAdaptive,  // Q starts at N, moves by halving/doubling per delta(Q)
+  kFixed,     // Q pinned (the fixed-Q table sweeps; Q = N disables limits)
+  kDisabled,  // no admission control at all, no RAC bookkeeping overhead
+};
+
+struct ViewConfig {
+  stm::Algo algo = stm::Algo::kNOrec;
+  std::size_t initial_bytes = std::size_t{1} << 20;
+  unsigned max_threads = 16;  // the paper's N
+
+  RacMode rac = RacMode::kAdaptive;
+  unsigned fixed_quota = 0;  // used when rac == kFixed (clamped to [1, N])
+
+  // Adaptation epoch length, in transaction *events* (commits + aborts).
+  // Counting aborts is essential: in a livelock commits stop, and the
+  // epoch must still close so RAC can halve Q (paper Sec. III-D: "delta(Q)
+  // will rise very quickly, and RAC will promptly drive Q down").
+  std::uint64_t adapt_interval = 2048;
+  rac::PolicyConfig policy{};
+
+  stm::EngineConfig engine{};
+  BackoffPolicy backoff = BackoffPolicy::kNone;  // paper default: no backoff
+
+  // Per-view adaptive TM algorithm selection (paper Sec. IV-C). Only active
+  // together with RacMode::kAdaptive: decisions ride the same epochs as
+  // quota adaptation, and the safe-switch protocol needs the admission
+  // controller to quiesce the view.
+  AlgoAdaptConfig algo_adapt{};
+
+  // Record per-transaction commit/abort latency histograms (log2 buckets).
+  // Off by default: two relaxed atomic increments per transaction are
+  // cheap but not free, and the fixed-Q table sweeps do not need them.
+  bool collect_latency = false;
+
+  // Record one TracePoint per adaptation epoch (quota-over-time series;
+  // see rac/trace.hpp). Only meaningful with RacMode::kAdaptive.
+  bool trace_adaptation = false;
+};
+
+}  // namespace votm::core

@@ -1,0 +1,10 @@
+#include "core/thread_ctx.hpp"
+
+namespace votm::core {
+
+ThreadCtx& thread_ctx() {
+  thread_local ThreadCtx ctx;
+  return ctx;
+}
+
+}  // namespace votm::core

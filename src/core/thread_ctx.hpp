@@ -1,0 +1,41 @@
+// Per-thread VOTM state.
+//
+// One ThreadCtx per OS thread carries the STM descriptor, the C-API
+// longjmp checkpoint, the pending acquire parameters (which must survive
+// the longjmp back to the retry point), and the transactional-memory-
+// management logs (allocations to undo on abort, frees to apply at
+// commit).
+#pragma once
+
+#include <csetjmp>
+#include <vector>
+
+#include "stm/engine.hpp"
+
+namespace votm::core {
+
+class Arena;
+class View;
+
+struct ThreadCtx {
+  stm::TxThread tx;
+
+  // Active view while inside an acquire/release (or View::execute) pair.
+  View* active_view = nullptr;
+
+  // C-style API (acquire_view macro) state.
+  std::jmp_buf checkpoint;
+  View* pending_view = nullptr;
+  bool pending_read_only = false;
+
+  // Transactional memory management: blocks allocated by the current
+  // transaction (undone on abort) and blocks whose free is deferred until
+  // the transaction commits, so an abort cannot leak or double-free.
+  std::vector<std::pair<Arena*, void*>> tx_allocs;
+  std::vector<std::pair<Arena*, void*>> tx_frees;
+};
+
+// The calling thread's context (thread-local singleton).
+ThreadCtx& thread_ctx();
+
+}  // namespace votm::core

@@ -1,0 +1,238 @@
+#include "core/view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace votm::core {
+
+namespace {
+unsigned initial_quota(const ViewConfig& c) {
+  switch (c.rac) {
+    case RacMode::kAdaptive:
+      return c.max_threads;  // paper: "Q ... is initialized as the maximum
+                             // number of threads (N)"
+    case RacMode::kFixed:
+      return std::clamp(c.fixed_quota, 1u, c.max_threads);
+    case RacMode::kDisabled:
+      return c.max_threads;
+  }
+  return c.max_threads;
+}
+}  // namespace
+
+View::View(ViewConfig config)
+    : config_(config),
+      engine_(stm::make_engine(config.algo, config.engine)),
+      arena_(config.initial_bytes),
+      admission_(config.max_threads, initial_quota(config)),
+      policy_(config.max_threads, config.policy),
+      algo_selector_(config.algo_adapt) {
+  next_adapt_at_.store(config_.adapt_interval, std::memory_order_relaxed);
+}
+
+void* View::alloc(std::size_t size) {
+  void* block = arena_.alloc(size);
+  ThreadCtx& tc = thread_ctx();
+  if (tc.tx.in_tx && tc.active_view == this && tc.tx.engine->speculative()) {
+    tc.tx_allocs.emplace_back(&arena_, block);
+  }
+  return block;
+}
+
+void View::free(void* ptr) {
+  if (ptr == nullptr) return;
+  ThreadCtx& tc = thread_ctx();
+  if (tc.tx.in_tx && tc.active_view == this && tc.tx.engine->speculative()) {
+    // Defer: freeing now would let another thread reuse the block while
+    // this transaction can still abort (and while concurrent readers may
+    // still be validating against it).
+    tc.tx_frees.emplace_back(&arena_, ptr);
+    return;
+  }
+  arena_.free(ptr);
+}
+
+void View::enter(ThreadCtx& tc, bool read_only) {
+  stm::TxThread& tx = tc.tx;
+  tc.active_view = this;
+  tx.read_only = read_only;
+  tx.stats = &totals_;
+  tx.on_rollback = &View::rollback_trampoline;
+  tx.on_misuse = &View::misuse_trampoline;
+  tx.rollback_arg = this;
+  tx.checkpoint = &tc.checkpoint;
+  tx.backoff.set_policy(config_.backoff);
+
+  stm::TxEngine* engine = nullptr;
+  if (config_.rac != RacMode::kDisabled) {
+    const unsigned q = admission_.admit();
+    // engine_ must be sampled only after admission: switch_algorithm swaps
+    // it while the view is paused and drained, and the admission mutex is
+    // what orders the swap before this read.
+    engine = engine_.get();
+    // Lock mode: quota 1 admits exactly one thread; uninstrumented accesses
+    // behind the view mutex (the quota snapshot was taken atomically with
+    // the admission, and raising Q out of 1 drains the view first, so a
+    // lock-mode execution can never overlap a transactional one).
+    if (q == 1 && engine->speculative()) {
+      engine = &lock_engine_;
+    }
+  } else {
+    engine = engine_.get();
+  }
+  engine->begin(tx);
+}
+
+void View::exit(ThreadCtx& tc) {
+  stm::TxThread& tx = tc.tx;
+  // May not return: a failed commit conflicts, which rolls back, leaves the
+  // admission controller (rollback_trampoline) and transfers control to the
+  // retry point.
+  tx.engine->commit(tx);
+
+  tx.last_tx_cycles = stm::tx_elapsed_cycles(tx);
+  totals_.add_commit(tx.last_tx_cycles);
+  if (config_.collect_latency) commit_latency_.record(tx.last_tx_cycles);
+  tx.in_tx = false;
+  tx.engine = nullptr;
+  tx.consecutive_aborts = 0;
+  tx.backoff.reset();
+
+  tc.tx_allocs.clear();
+  apply_deferred_frees(tc);
+  tc.active_view = nullptr;
+
+  if (config_.rac != RacMode::kDisabled) {
+    admission_.leave();
+  }
+  note_event();
+}
+
+void View::rollback_trampoline(stm::TxThread& tx) {
+  auto* view = static_cast<View*>(tx.rollback_arg);
+  view->handle_abort(thread_ctx());
+}
+
+void View::misuse_trampoline(stm::TxThread& tx) {
+  auto* view = static_cast<View*>(tx.rollback_arg);
+  ThreadCtx& tc = thread_ctx();
+  view->handle_abort(tc);
+  tc.active_view = nullptr;  // no retry follows a misuse
+}
+
+void View::handle_abort(ThreadCtx& tc) {
+  if (config_.collect_latency) abort_latency_.record(tc.tx.last_tx_cycles);
+  undo_tx_allocs(tc);
+  tc.tx_frees.clear();  // deferred frees die with the transaction
+  if (config_.rac != RacMode::kDisabled) {
+    admission_.leave();
+  }
+  note_event();
+  // tc.active_view intentionally stays set: the retry re-enters this view.
+}
+
+void View::abort_for_exception(ThreadCtx& tc) {
+  stm::TxThread& tx = tc.tx;
+  if (tx.in_tx && tx.engine != nullptr) {
+    tx.engine->rollback(tx);
+    tx.clear_logs();
+    tx.in_tx = false;
+    tx.engine = nullptr;
+  }
+  undo_tx_allocs(tc);
+  tc.tx_frees.clear();
+  tc.active_view = nullptr;
+  if (config_.rac != RacMode::kDisabled) {
+    admission_.leave();
+  }
+}
+
+void View::undo_tx_allocs(ThreadCtx& tc) {
+  for (auto& [arena, block] : tc.tx_allocs) {
+    arena->free(block);
+  }
+  tc.tx_allocs.clear();
+}
+
+void View::apply_deferred_frees(ThreadCtx& tc) {
+  for (auto& [arena, block] : tc.tx_frees) {
+    arena->free(block);
+  }
+  tc.tx_frees.clear();
+}
+
+unsigned View::quota() const {
+  return admission_.quota();
+}
+
+void View::set_quota(unsigned q) {
+  admission_.set_quota(q);
+}
+
+double View::whole_run_delta() const {
+  return rac::delta_q(stats(), quota());
+}
+
+stm::Algo View::algorithm() const {
+  std::lock_guard<std::mutex> lk(algo_mu_);
+  return config_.algo;
+}
+
+void View::switch_algorithm(stm::Algo algo) {
+  if (config_.rac == RacMode::kDisabled) {
+    throw std::logic_error(
+        "switch_algorithm needs admission control to quiesce the view");
+  }
+  std::lock_guard<std::mutex> lk(algo_mu_);
+  if (algo == config_.algo) return;
+  admission_.pause();  // blocks new admissions, waits for in-flight txs
+  engine_ = stm::make_engine(algo, config_.engine);
+  config_.algo = algo;
+  admission_.resume();
+}
+
+void View::note_event() {
+  if (config_.rac != RacMode::kAdaptive) return;
+  const std::uint64_t events =
+      totals_.commits.load(std::memory_order_relaxed) +
+      totals_.aborts.load(std::memory_order_relaxed);
+  if (events < next_adapt_at_.load(std::memory_order_relaxed)) return;
+  // One adapter at a time; losers skip (the winner will reset the epoch).
+  if (!adapt_mu_.try_lock()) return;
+  adapt_locked();
+  adapt_mu_.unlock();
+}
+
+void View::adapt_locked() {
+  const stm::StatsSnapshot now = stats();
+  const std::uint64_t events = now.commits + now.aborts;
+  if (events < next_adapt_at_.load(std::memory_order_relaxed)) return;  // raced
+
+  stm::StatsSnapshot epoch = now;
+  epoch.aborted_cycles -= epoch_base_.aborted_cycles;
+  epoch.committed_cycles -= epoch_base_.committed_cycles;
+  epoch.aborts -= epoch_base_.aborts;
+  epoch.commits -= epoch_base_.commits;
+
+  const unsigned q = admission_.quota();
+  const double delta = rac::delta_q(epoch, q);
+  const unsigned next_q = policy_.next_quota(q, delta, epoch.aborts);
+  if (next_q != q) {
+    admission_.set_quota(next_q);
+  }
+  if (config_.trace_adaptation) {
+    trace_.record(rac::TracePoint{events, epoch.commits, epoch.aborts, delta,
+                                  q, next_q});
+  }
+  if (config_.algo_adapt.enabled) {
+    const stm::Algo next_algo =
+        algo_selector_.next_algo(config_.algo, epoch, delta);
+    if (next_algo != config_.algo) {
+      switch_algorithm(next_algo);
+    }
+  }
+  epoch_base_ = now;
+  next_adapt_at_.store(events + config_.adapt_interval, std::memory_order_relaxed);
+}
+
+}  // namespace votm::core

@@ -1,0 +1,168 @@
+// View: the unit of sharing in VOTM.
+//
+// A view bundles (1) a memory arena, (2) a private STM instance — its own
+// metadata, so distinct views never contend on clocks or orecs — and
+// (3) a RAC admission controller with quota Q in [1, N]:
+//
+//   acquire_view:  admit (block while P >= Q), then begin a transaction;
+//                  at Q == 1 the view switches to lock mode and accesses
+//                  run uninstrumented behind the view mutex.
+//   release_view:  try to commit; on failure roll back, leave (P -= 1) and
+//                  re-acquire — exactly the paper's Sec. II protocol.
+//
+// Two user-facing protocols sit on this class:
+//   * View::execute(lambda)  — C++ retry loop (aborts throw internally);
+//   * acquire_view/release_view macros (core/votm.hpp) — the paper's
+//     Table I C API, with longjmp back to the acquire point on abort.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/arena.hpp"
+#include "core/config.hpp"
+#include "core/thread_ctx.hpp"
+#include "rac/admission.hpp"
+#include "rac/delta.hpp"
+#include "rac/policy.hpp"
+#include "rac/trace.hpp"
+#include "stm/cgl.hpp"
+#include "stm/engine.hpp"
+#include "stm/factory.hpp"
+#include "util/histogram.hpp"
+
+namespace votm::core {
+
+class View {
+ public:
+  explicit View(ViewConfig config);
+
+  View(const View&) = delete;
+  View& operator=(const View&) = delete;
+
+  // ---- memory (transaction-aware) ----------------------------------------
+  // Inside a transaction on this view, allocations are undone if the
+  // transaction aborts and frees are deferred to commit; outside they act
+  // immediately.
+  void* alloc(std::size_t size);
+  void free(void* ptr);
+  void brk(std::size_t bytes) { arena_.extend(bytes); }
+  Arena& arena() noexcept { return arena_; }
+
+  // ---- lambda API ---------------------------------------------------------
+  template <typename Body>
+  void execute(Body&& body) {
+    run(static_cast<Body&&>(body), /*read_only=*/false);
+  }
+  template <typename Body>
+  void execute_read(Body&& body) {
+    run(static_cast<Body&&>(body), /*read_only=*/true);
+  }
+
+  // ---- staged protocol (C API / drivers) ----------------------------------
+  // Admission + transaction begin. On abort, control re-enters here via the
+  // retry mechanism; admission is re-run each time (paper: "decrease P by 1,
+  // and reacquire the view").
+  void enter(ThreadCtx& tc, bool read_only);
+
+  // Commit + bookkeeping + leave. If the commit fails this call does not
+  // return normally: the abort path re-runs the transaction body.
+  void exit(ThreadCtx& tc);
+
+  // ---- introspection -------------------------------------------------------
+  unsigned quota() const;
+  unsigned max_threads() const noexcept { return config_.max_threads; }
+  const ViewConfig& config() const noexcept { return config_; }
+  stm::TxEngine& engine() noexcept { return *engine_; }
+
+  // Monotonic whole-run statistics (the tables' #abort / #tx / cycles rows).
+  stm::StatsSnapshot stats() const noexcept { return stm::snapshot(totals_); }
+
+  // delta(Q) over the whole run at the current quota (tables' final row).
+  double whole_run_delta() const;
+
+  // Latency histograms (populated only when config.collect_latency).
+  const Log2Histogram& commit_latency() const noexcept { return commit_latency_; }
+  const Log2Histogram& abort_latency() const noexcept { return abort_latency_; }
+
+  // Adaptation decision trace (populated only when config.trace_adaptation).
+  const rac::AdaptationTrace& adaptation_trace() const noexcept {
+    return trace_;
+  }
+
+  // Manual quota override (e.g. the paper's "programmer sets Q of a hot
+  // view to 1"); honours the lock-mode drain protocol.
+  void set_quota(unsigned q);
+
+  // The algorithm currently running this view (may change at runtime when
+  // algo_adapt is enabled).
+  stm::Algo algorithm() const;
+
+  // Safely replaces the view's TM algorithm: blocks new admissions, waits
+  // for in-flight transactions to finish, swaps the engine (fresh metadata),
+  // and resumes. Requires admission control (rac != kDisabled) — without it
+  // there is no way to quiesce the view.
+  void switch_algorithm(stm::Algo algo);
+
+ private:
+  template <typename Body>
+  void run(Body&& body, bool read_only) {
+    ThreadCtx& tc = thread_ctx();
+    stm::TxThread& tx = tc.tx;
+    tx.abort_mode = stm::AbortMode::kThrow;
+    for (;;) {
+      enter(tc, read_only);
+      try {
+        body();
+        exit(tc);
+        return;
+      } catch (const stm::TxConflict&) {
+        // Rollback, admission leave and event accounting already happened
+        // on the conflict path; just pace the retry.
+        tx.backoff.pause();
+        continue;
+      } catch (...) {
+        abort_for_exception(tc);
+        throw;
+      }
+    }
+  }
+
+  // Called (via TxThread::on_rollback) after the engine rolled back but
+  // before control transfer: undoes transactional allocations, leaves the
+  // admission controller and runs the adaptation check.
+  static void rollback_trampoline(stm::TxThread& tx);
+  static void misuse_trampoline(stm::TxThread& tx);
+  void handle_abort(ThreadCtx& tc);
+
+  // User exception escaped the body: roll back and release everything
+  // without retrying.
+  void abort_for_exception(ThreadCtx& tc);
+
+  void undo_tx_allocs(ThreadCtx& tc);
+  void apply_deferred_frees(ThreadCtx& tc);
+
+  // Epoch bookkeeping: called after every commit/abort event.
+  void note_event();
+  void adapt_locked();
+
+  ViewConfig config_;
+  std::unique_ptr<stm::TxEngine> engine_;
+  stm::CglEngine lock_engine_;  // Q == 1 fallback (paper Sec. II)
+  Arena arena_;
+  rac::AdmissionController admission_;
+  rac::AdaptivePolicy policy_;
+  AlgoSelector algo_selector_;
+  mutable std::mutex algo_mu_;  // guards config_.algo reads vs switches
+
+  stm::EpochStats totals_;
+  Log2Histogram commit_latency_;
+  Log2Histogram abort_latency_;
+  rac::AdaptationTrace trace_;
+  std::mutex adapt_mu_;
+  stm::StatsSnapshot epoch_base_;               // guarded by adapt_mu_
+  std::atomic<std::uint64_t> next_adapt_at_{0};  // event count threshold
+};
+
+}  // namespace votm::core

@@ -1,0 +1,133 @@
+// This TU defines votm::release_view itself; the convenience macro of the
+// same name must not rewrite it.
+#define VOTM_NO_CAPI_MACROS
+#include "core/votm.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+
+namespace votm {
+
+namespace {
+
+struct Runtime {
+  RuntimeConfig config;
+  std::shared_mutex mu;
+  std::map<vid_type, std::unique_ptr<core::View>> views;
+  bool initialised = false;
+};
+
+Runtime& runtime() {
+  static Runtime rt;
+  return rt;
+}
+
+}  // namespace
+
+void votm_init(const RuntimeConfig& config) {
+  Runtime& rt = runtime();
+  std::unique_lock lk(rt.mu);
+  if (!rt.views.empty()) {
+    throw std::logic_error("votm_init while views exist; destroy them first");
+  }
+  rt.config = config;
+  rt.initialised = true;
+}
+
+void votm_shutdown() {
+  Runtime& rt = runtime();
+  std::unique_lock lk(rt.mu);
+  rt.views.clear();
+  rt.initialised = false;
+}
+
+void create_view(vid_type vid, std::size_t size, int q) {
+  Runtime& rt = runtime();
+  std::unique_lock lk(rt.mu);
+  if (!rt.initialised) throw std::logic_error("votm_init has not been called");
+  if (rt.views.count(vid) != 0) {
+    throw std::invalid_argument("create_view: vid already exists");
+  }
+  core::ViewConfig vc;
+  vc.algo = rt.config.algo;
+  vc.initial_bytes = size;
+  vc.max_threads = rt.config.max_threads;
+  if (!rt.config.rac_enabled) {
+    vc.rac = core::RacMode::kDisabled;
+  } else if (q < 1) {
+    vc.rac = core::RacMode::kAdaptive;
+  } else {
+    vc.rac = core::RacMode::kFixed;
+    vc.fixed_quota = static_cast<unsigned>(q);
+  }
+  vc.adapt_interval = rt.config.adapt_interval;
+  vc.policy = rt.config.policy;
+  vc.backoff = rt.config.backoff;
+  rt.views.emplace(vid, std::make_unique<core::View>(vc));
+}
+
+void destroy_view(vid_type vid) {
+  Runtime& rt = runtime();
+  std::unique_lock lk(rt.mu);
+  if (rt.views.erase(vid) == 0) {
+    throw std::out_of_range("destroy_view: unknown vid");
+  }
+}
+
+core::View& view_of(vid_type vid) {
+  Runtime& rt = runtime();
+  std::shared_lock lk(rt.mu);
+  auto it = rt.views.find(vid);
+  if (it == rt.views.end()) throw std::out_of_range("unknown view id");
+  return *it->second;
+}
+
+void* malloc_block(vid_type vid, std::size_t size) {
+  return view_of(vid).alloc(size);
+}
+
+void free_block(vid_type vid, void* ptr) {
+  view_of(vid).free(ptr);
+}
+
+void brk_view(vid_type vid, std::size_t size) {
+  view_of(vid).brk(size);
+}
+
+void release_view(vid_type vid) {
+  core::ThreadCtx& tc = core::thread_ctx();
+  core::View& view = view_of(vid);
+  if (tc.active_view != &view) {
+    throw std::logic_error("release_view: view is not acquired by this thread");
+  }
+  view.exit(tc);  // on commit failure: rollback + longjmp to the acquire point
+}
+
+namespace capi {
+
+void prepare(vid_type vid, bool read_only) {
+  core::ThreadCtx& tc = core::thread_ctx();
+  if (tc.active_view != nullptr) {
+    throw std::logic_error(
+        "acquire_view: a view is already acquired (views cannot nest)");
+  }
+  tc.pending_view = &view_of(vid);
+  tc.pending_read_only = read_only;
+  tc.tx.abort_mode = stm::AbortMode::kLongjmp;
+}
+
+std::jmp_buf* checkpoint() {
+  return &core::thread_ctx().checkpoint;
+}
+
+void resume() {
+  core::ThreadCtx& tc = core::thread_ctx();
+  tc.pending_view->enter(tc, tc.pending_read_only);
+}
+
+}  // namespace capi
+
+}  // namespace votm

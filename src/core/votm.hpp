@@ -1,0 +1,98 @@
+// The VOTM programming interface — paper Table I.
+//
+//   void create_view(int vid, size_t size, int q)
+//   void *malloc_block(int vid, size_t size)
+//   void free_block(int vid, void *ptr)
+//   void destroy_view(int vid)
+//   void brk_view(int vid, size_t size)
+//   void acquire_view(int vid)     [macro]
+//   void acquire_Rview(int vid)    [macro]
+//   void release_view(int vid)
+//
+// acquire_view/acquire_Rview are macros because the retry point must live
+// in the *caller's* frame: when a transaction aborts (mid-body or at
+// release_view's commit), VOTM rolls back, decrements P, longjmps back to
+// the acquire point and re-runs admission — the paper's Sec. II protocol.
+// The usual setjmp caveat applies: locals modified inside the view section
+// must be re-initialised inside it (values read through vread are always
+// re-read on retry).
+//
+// Prefer the typed C++ interface (View::execute + vread/vwrite) in new
+// code; this API exists for fidelity with the paper's examples (Figs. 1-2).
+#pragma once
+
+#include <csetjmp>
+#include <cstddef>
+
+#include "core/access.hpp"
+#include "core/config.hpp"
+#include "core/view.hpp"
+
+namespace votm {
+
+using vid_type = int;
+
+// Process-wide defaults applied to every subsequently created view.
+struct RuntimeConfig {
+  unsigned max_threads = 16;  // the paper's N
+  stm::Algo algo = stm::Algo::kNOrec;
+  bool rac_enabled = true;  // false builds the paper's "multi-TM"/"TM" modes
+  std::uint64_t adapt_interval = 2048;
+  rac::PolicyConfig policy{};
+  BackoffPolicy backoff = BackoffPolicy::kNone;
+};
+
+// Initialises the runtime; must precede create_view. Re-initialisation is
+// allowed once all views are destroyed (the benches create/destroy worlds
+// per configuration).
+void votm_init(const RuntimeConfig& config = {});
+void votm_shutdown();
+
+// Creates view `vid` of `size` bytes. q < 1: quota dynamically managed by
+// RAC; q >= 1: quota statically fixed to min(q, N).
+void create_view(vid_type vid, std::size_t size, int q);
+void destroy_view(vid_type vid);
+
+void* malloc_block(vid_type vid, std::size_t size);
+void free_block(vid_type vid, void* ptr);
+void brk_view(vid_type vid, std::size_t size);
+
+void release_view(vid_type vid);
+
+// Looks up a view (throws std::out_of_range for unknown vids). Exposed so
+// harnesses can read per-view statistics (tables' per-view rows).
+core::View& view_of(vid_type vid);
+
+namespace capi {
+// Implementation halves of the acquire macros. prepare() records which view
+// the retry loop belongs to; resume() (re-)runs admission + begin and is
+// the longjmp landing point's continuation.
+void prepare(vid_type vid, bool read_only);
+void resume();
+std::jmp_buf* checkpoint();
+}  // namespace capi
+
+}  // namespace votm
+
+// The acquire primitives. Shape:
+//   prepare -> setjmp (retry point) -> resume (admission + tx begin)
+// An abort longjmps to the setjmp with value 1 and resume() runs again.
+#ifndef VOTM_NO_CAPI_MACROS
+#define acquire_view(vid)                         \
+  do {                                            \
+    ::votm::capi::prepare((vid), false);          \
+    setjmp(*::votm::capi::checkpoint());          \
+    ::votm::capi::resume();                       \
+  } while (0)
+
+#define acquire_Rview(vid)                        \
+  do {                                            \
+    ::votm::capi::prepare((vid), true);           \
+    setjmp(*::votm::capi::checkpoint());          \
+    ::votm::capi::resume();                       \
+  } while (0)
+
+// Unqualified release_view(vid) works in any scope, mirroring the acquire
+// macros (the paper's API is C-flavoured and unnamespaced).
+#define release_view(vid) ::votm::release_view(vid)
+#endif  // VOTM_NO_CAPI_MACROS

@@ -1,0 +1,27 @@
+// Cooperative in-transaction yield with cycle exclusion.
+//
+// Benchmarks on oversubscribed hosts inject yields inside transactions to
+// force the overlap that real multi-core execution provides for free. The
+// time spent descheduled is a harness artifact, not transaction work, so
+// it is excluded from the transaction's cycle accounting — otherwise the
+// delta(Q) estimator (Eq. 5) and the cycle tables would measure the host
+// scheduler instead of the workload.
+#pragma once
+
+#include <thread>
+
+#include "core/thread_ctx.hpp"
+#include "util/cycles.hpp"
+
+namespace votm::core {
+
+inline void yield_in_transaction() {
+  stm::TxThread& tx = thread_ctx().tx;
+  const std::uint64_t t0 = rdcycles();
+  std::this_thread::yield();
+  if (tx.in_tx) {
+    tx.excluded_cycles += rdcycles() - t0;
+  }
+}
+
+}  // namespace votm::core

@@ -1,0 +1,75 @@
+// Eigenbench parameters (Hong et al., IISWC'10), as used by the paper's
+// modified two-view variant (paper Fig. 3 pseudocode, Table II values).
+//
+// Each *object* is a (hot array, mild array, cold array, access counts)
+// bundle. Contention is orthogonalised: hot arrays are fully shared and
+// conflict-prone; mild arrays are shared memory but partitioned per thread
+// (rollback volume without conflicts); cold arrays are thread-private but
+// accessed transactionally when inside a transaction (pure rollback cost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace votm::eigen {
+
+struct ObjectParams {
+  // Array lengths in words.
+  std::size_t a1 = 256;     // hot array (shared, conflict-prone)
+  std::size_t a2 = 16384;   // mild array (shared, per-thread subarrays)
+  std::size_t a3 = 8192;    // cold array (thread-private)
+
+  // Per-transaction access counts.
+  unsigned r1 = 80, w1 = 20;  // hot reads / writes
+  unsigned r2 = 10, w2 = 10;  // mild reads / writes
+
+  // Between two consecutive shared-array accesses:
+  unsigned r3i = 0, w3i = 0;  // cold reads / writes inside the transaction
+  unsigned nopi = 0;          // NOPs inside the transaction
+
+  // Outside transactions, per iteration:
+  unsigned r3o = 0, w3o = 0;
+  unsigned nopo = 0;
+
+  // Transactions per thread on this object.
+  std::uint64_t loops = 100000;
+};
+
+// Paper Table II, view 1: long transactions with HIGH contention — 100
+// accesses into a 256-word hot array, 20 of them writes.
+inline ObjectParams paper_view1() {
+  ObjectParams p;
+  p.a1 = 256;
+  p.a2 = 16384;
+  p.a3 = 8192;
+  p.r1 = 80;
+  p.w1 = 20;
+  p.r2 = 10;
+  p.w2 = 10;
+  p.r3i = 0;
+  p.w3i = 0;
+  p.nopi = 0;
+  p.loops = 100000;
+  return p;
+}
+
+// Paper Table II, view 2: long transactions with LOW contention — 20
+// accesses spread over a 16k-word hot array, padded with cold accesses and
+// NOPs between shared accesses.
+inline ObjectParams paper_view2() {
+  ObjectParams p;
+  p.a1 = 16384;
+  p.a2 = 16384;
+  p.a3 = 8192;
+  p.r1 = 10;
+  p.w1 = 10;
+  p.r2 = 10;
+  p.w2 = 10;
+  p.r3i = 5;
+  p.w3i = 1;
+  p.nopi = 20;
+  p.loops = 100000;
+  return p;
+}
+
+}  // namespace votm::eigen

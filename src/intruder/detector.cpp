@@ -1,0 +1,45 @@
+#include "intruder/detector.hpp"
+
+namespace votm::intruder {
+
+const std::vector<std::string>& Detector::default_signatures() {
+  static const std::vector<std::string> sigs = {
+      "about-to-attack", "255.255.255.255", "<script>alert",
+      "cat /etc/passwd", "DROP TABLE",      "\\x90\\x90\\x90\\x90",
+  };
+  return sigs;
+}
+
+Detector::Detector(std::vector<std::string> signatures)
+    : signatures_(std::move(signatures)) {
+  compiled_.reserve(signatures_.size());
+  for (const std::string& s : signatures_) {
+    CompiledSignature c;
+    c.pattern = s;
+    for (std::size_t i = 0; i < 256; ++i) c.shift[i] = s.size();
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      c.shift[static_cast<unsigned char>(s[i])] = s.size() - 1 - i;
+    }
+    compiled_.push_back(std::move(c));
+  }
+}
+
+bool Detector::scan(const std::uint8_t* data, std::size_t size) const {
+  for (const CompiledSignature& c : compiled_) {
+    const std::size_t m = c.pattern.size();
+    if (m == 0 || m > size) continue;
+    std::size_t pos = 0;
+    while (pos + m <= size) {
+      std::size_t j = m;
+      while (j > 0 &&
+             data[pos + j - 1] == static_cast<std::uint8_t>(c.pattern[j - 1])) {
+        --j;
+      }
+      if (j == 0) return true;
+      pos += c.shift[data[pos + m - 1]];
+    }
+  }
+  return false;
+}
+
+}  // namespace votm::intruder

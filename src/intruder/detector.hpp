@@ -1,0 +1,36 @@
+// Signature detector: scans assembled flow payloads for known attack
+// strings. Runs OUTSIDE transactions (as in STAMP intruder, where
+// detection is the non-transactional phase of each iteration).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace votm::intruder {
+
+class Detector {
+ public:
+  // The default signature set; the generator embeds one of these in each
+  // attack flow.
+  static const std::vector<std::string>& default_signatures();
+
+  explicit Detector(std::vector<std::string> signatures = default_signatures());
+
+  // True if any signature occurs in data (Boyer-Moore-Horspool per
+  // signature).
+  bool scan(const std::uint8_t* data, std::size_t size) const;
+
+  const std::vector<std::string>& signatures() const { return signatures_; }
+
+ private:
+  struct CompiledSignature {
+    std::string pattern;
+    std::size_t shift[256];
+  };
+  std::vector<CompiledSignature> compiled_;
+  std::vector<std::string> signatures_;
+};
+
+}  // namespace votm::intruder

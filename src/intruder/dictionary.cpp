@@ -1,0 +1,110 @@
+#include "intruder/dictionary.hpp"
+
+#include <stdexcept>
+
+#include "core/access.hpp"
+
+namespace votm::intruder {
+
+using core::vread;
+using core::vwrite;
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+TxDictionary::TxDictionary(core::View& view, std::size_t bucket_count)
+    : view_(&view),
+      bucket_count_(round_up_pow2(std::max<std::size_t>(bucket_count, 2))) {
+  buckets_ = static_cast<Word*>(view.alloc(bucket_count_ * sizeof(Word)));
+  for (std::size_t i = 0; i < bucket_count_; ++i) {
+    vwrite<Word>(&buckets_[i], 0);
+  }
+}
+
+TxDictionary::Word* TxDictionary::bucket_for(std::uint64_t flow_id) const noexcept {
+  return &buckets_[mix(flow_id) & (bucket_count_ - 1)];
+}
+
+unsigned TxDictionary::insert(const Packet* packet,
+                              const Packet** out_fragments, unsigned max_out) {
+  Word* bucket = bucket_for(packet->flow_id);
+
+  // Walk the chain looking for this flow, remembering where the incoming
+  // link lives so completion can unlink in O(1).
+  Word* link = bucket;
+  Word node = vread(link);
+  while (node != 0) {
+    auto* words = reinterpret_cast<Word*>(node);
+    if (vread(&words[0]) == packet->flow_id) break;
+    link = &words[3];
+    node = vread(link);
+  }
+
+  Word* words = nullptr;
+  if (node == 0) {
+    // First fragment of this flow: allocate and link a fresh node.
+    const std::size_t size =
+        (kHeaderWords + packet->num_fragments) * sizeof(Word);
+    words = static_cast<Word*>(view_->alloc(size));
+    vwrite<Word>(&words[0], packet->flow_id);
+    vwrite<Word>(&words[1], packet->num_fragments);
+    vwrite<Word>(&words[2], 0);
+    vwrite<Word>(&words[3], vread(bucket));
+    for (std::uint32_t i = 0; i < packet->num_fragments; ++i) {
+      vwrite<Word>(&words[kHeaderWords + i], 0);
+    }
+    vwrite<Word>(bucket, reinterpret_cast<Word>(words));
+    link = bucket;
+  } else {
+    words = reinterpret_cast<Word*>(node);
+  }
+
+  Word* slot = &words[kHeaderWords + packet->fragment_id];
+  if (vread(slot) != 0) {
+    throw std::logic_error("duplicate fragment delivered to dictionary");
+  }
+  vwrite<Word>(slot, reinterpret_cast<Word>(packet));
+  const Word received = vread(&words[2]) + 1;
+  vwrite<Word>(&words[2], received);
+
+  const Word total = vread(&words[1]);
+  if (received != total) return 0;
+
+  // Flow complete: export fragments, unlink and free the node.
+  if (total > max_out) {
+    throw std::length_error("fragment output buffer too small");
+  }
+  for (Word i = 0; i < total; ++i) {
+    out_fragments[i] =
+        reinterpret_cast<const Packet*>(vread(&words[kHeaderWords + i]));
+  }
+  vwrite<Word>(link, vread(&words[3]));
+  view_->free(words);  // deferred to commit by the view layer
+  return static_cast<unsigned>(total);
+}
+
+std::size_t TxDictionary::resident_flows() const {
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < bucket_count_; ++b) {
+    Word node = vread(&buckets_[b]);
+    while (node != 0) {
+      ++count;
+      node = vread(&reinterpret_cast<Word*>(node)[3]);
+    }
+  }
+  return count;
+}
+
+}  // namespace votm::intruder

@@ -1,0 +1,52 @@
+// Transactional reassembly dictionary: flow_id -> partially reassembled
+// flow, as a chained hash table laid out in view memory and accessed word
+// by word through the STM.
+//
+// Node layout (words):
+//   [0] flow_id
+//   [1] num_fragments
+//   [2] received count
+//   [3] next node (pointer as word; 0 terminates the chain)
+//   [4 ..4+num_fragments) fragment pointers, indexed by fragment_id
+//
+// Nodes are allocated from the view arena inside the inserting transaction
+// (undone on abort) and freed on flow completion (free deferred to commit)
+// — the transactional memory management Intruder exercises heavily.
+#pragma once
+
+#include <cstddef>
+
+#include "core/view.hpp"
+#include "intruder/packet.hpp"
+
+namespace votm::intruder {
+
+class TxDictionary {
+ public:
+  using Word = stm::Word;
+
+  // Bucket count is rounded up to a power of two.
+  TxDictionary(core::View& view, std::size_t bucket_count);
+
+  // tx: records `packet` in its flow. If this completes the flow, removes
+  // the flow's node, writes its fragment pointers (ordered by fragment_id)
+  // into out_fragments[0 .. n) and returns n; otherwise returns 0.
+  unsigned insert(const Packet* packet, const Packet** out_fragments,
+                  unsigned max_out);
+
+  // tx (or quiescent): number of incomplete flows currently stored.
+  std::size_t resident_flows() const;
+
+  std::size_t bucket_count() const noexcept { return bucket_count_; }
+
+ private:
+  static constexpr std::size_t kHeaderWords = 4;
+
+  Word* bucket_for(std::uint64_t flow_id) const noexcept;
+
+  core::View* view_;
+  std::size_t bucket_count_;
+  Word* buckets_;
+};
+
+}  // namespace votm::intruder

@@ -1,0 +1,83 @@
+#include "intruder/generator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace votm::intruder {
+
+GeneratedStream generate_stream(const GeneratorConfig& config,
+                                const Detector& detector) {
+  if (config.max_length == 0) throw std::invalid_argument("max_length == 0");
+  if (config.max_fragment_bytes == 0) {
+    throw std::invalid_argument("max_fragment_bytes == 0");
+  }
+  Xoshiro256 rng(config.seed * 0x9e3779b97f4a7c15ULL + 1);
+  GeneratedStream out;
+  out.flows.reserve(config.num_flows);
+
+  const auto& signatures = detector.signatures();
+
+  for (std::uint64_t id = 0; id < config.num_flows; ++id) {
+    Flow flow;
+    flow.id = id;
+    const std::size_t length =
+        1 + static_cast<std::size_t>(rng.below(config.max_length));
+    flow.data.resize(length);
+    for (auto& b : flow.data) {
+      // Printable filler that cannot collide with any signature byte
+      // pattern by construction of the signature set (mixed-case + digits
+      // are fine; collisions would only cause extra detections, which the
+      // verification would catch).
+      b = static_cast<std::uint8_t>('a' + rng.below(26));
+    }
+    flow.is_attack = rng.chance(config.attack_percent, 100);
+    if (flow.is_attack) {
+      const std::string& sig =
+          signatures[static_cast<std::size_t>(rng.below(signatures.size()))];
+      if (sig.size() > flow.data.size()) {
+        flow.data.resize(sig.size());
+      }
+      const std::size_t max_off = flow.data.size() - sig.size();
+      const std::size_t off =
+          max_off == 0 ? 0 : static_cast<std::size_t>(rng.below(max_off + 1));
+      std::memcpy(flow.data.data() + off, sig.data(), sig.size());
+      ++out.attack_flows;
+    }
+
+    // Fragment the flow: random cut sizes in [1, max_fragment_bytes].
+    std::vector<std::pair<std::size_t, std::size_t>> cuts;  // (offset, size)
+    std::size_t offset = 0;
+    while (offset < flow.data.size()) {
+      const std::size_t remaining = flow.data.size() - offset;
+      const std::size_t size =
+          1 + static_cast<std::size_t>(
+                  rng.below(std::min<std::size_t>(remaining, config.max_fragment_bytes)));
+      cuts.emplace_back(offset, size);
+      offset += size;
+    }
+    for (std::size_t f = 0; f < cuts.size(); ++f) {
+      auto packet = std::make_unique<Packet>();
+      packet->flow_id = id;
+      packet->fragment_id = static_cast<std::uint32_t>(f);
+      packet->num_fragments = static_cast<std::uint32_t>(cuts.size());
+      packet->offset = static_cast<std::uint32_t>(cuts[f].first);
+      packet->payload.assign(flow.data.begin() + cuts[f].first,
+                             flow.data.begin() + cuts[f].first + cuts[f].second);
+      out.shuffled.push_back(packet.get());
+      out.packets.push_back(std::move(packet));
+    }
+    out.flows.push_back(std::move(flow));
+  }
+
+  // Global shuffle: fragments of different flows interleave arbitrarily and
+  // fragments of one flow arrive out of order.
+  for (std::size_t i = out.shuffled.size(); i > 1; --i) {
+    std::swap(out.shuffled[i - 1], out.shuffled[rng.below(i)]);
+  }
+  return out;
+}
+
+}  // namespace votm::intruder

@@ -1,0 +1,39 @@
+// Flow/packet generator for Intruder, mirroring STAMP's CLI parameters:
+//   -a : percentage of flows carrying an attack signature (default 10)
+//   -l : maximum flow length in bytes                     (default 128)
+//   -n : number of flows                                  (default 262144,
+//        scaled down by the benches' --flows flag)
+//   -s : random seed                                      (default 1)
+//
+// Flows are split into fragments (out-of-order, globally shuffled), which
+// is what gives the reassembly dictionary its workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "intruder/detector.hpp"
+#include "intruder/packet.hpp"
+
+namespace votm::intruder {
+
+struct GeneratorConfig {
+  unsigned attack_percent = 10;   // -a
+  unsigned max_length = 128;      // -l
+  std::uint64_t num_flows = 262144;  // -n
+  std::uint64_t seed = 1;         // -s
+  unsigned max_fragment_bytes = 16;
+};
+
+struct GeneratedStream {
+  std::vector<Flow> flows;                       // ground truth
+  std::vector<std::unique_ptr<Packet>> packets;  // owned storage
+  std::vector<Packet*> shuffled;                 // arrival order
+  std::uint64_t attack_flows = 0;
+};
+
+GeneratedStream generate_stream(const GeneratorConfig& config,
+                                const Detector& detector);
+
+}  // namespace votm::intruder

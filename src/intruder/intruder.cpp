@@ -1,0 +1,181 @@
+#include "intruder/intruder.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "core/yield.hpp"
+#include "rac/delta.hpp"
+#include "util/cycles.hpp"
+
+namespace votm::intruder {
+
+IntruderWorld::IntruderWorld(IntruderConfig config)
+    : config_(std::move(config)),
+      stream_(generate_stream(config_.gen, detector_)) {
+  build();
+}
+
+IntruderWorld::~IntruderWorld() = default;
+
+void IntruderWorld::build() {
+  const std::size_t n_views = config_.layout == Layout::kSingleView ? 1 : 2;
+  if (config_.rac == core::RacMode::kFixed &&
+      config_.fixed_quotas.size() != n_views) {
+    throw std::invalid_argument("fixed_quotas must have one entry per view");
+  }
+
+  // Exact arena sizing from the generated stream: queue slots + counters,
+  // dictionary buckets + one node per flow (header + fragment pointers),
+  // plus allocator headroom.
+  const std::size_t n_packets = stream_.shuffled.size();
+  std::size_t dict_words = 2 * config_.gen.num_flows;  // buckets
+  for (const auto& packet : stream_.packets) {
+    if (packet->fragment_id == 0) {
+      dict_words += 4 + packet->num_fragments;
+    }
+  }
+  const std::size_t queue_words = 2 * n_packets + 16;
+
+  auto make_view = [&](std::size_t index, std::size_t words) {
+    core::ViewConfig vc;
+    vc.algo = config_.algo;
+    vc.max_threads = config_.n_threads;
+    vc.rac = config_.rac;
+    if (config_.rac == core::RacMode::kFixed) {
+      vc.fixed_quota = config_.fixed_quotas[index];
+    }
+    vc.adapt_interval = config_.adapt_interval;
+    vc.policy = config_.policy;
+    vc.backoff = config_.backoff;
+    vc.initial_bytes = words * sizeof(stm::Word) * 2 + (1u << 16);
+    views_.push_back(std::make_unique<core::View>(vc));
+  };
+
+  if (config_.layout == Layout::kSingleView) {
+    make_view(0, queue_words + dict_words);
+    queue_ = std::make_unique<TxQueue>(*views_[0], n_packets + 1);
+    dictionary_ =
+        std::make_unique<TxDictionary>(*views_[0], 2 * config_.gen.num_flows);
+  } else {
+    make_view(0, queue_words);
+    make_view(1, dict_words);
+    queue_ = std::make_unique<TxQueue>(*views_[0], n_packets + 1);
+    dictionary_ =
+        std::make_unique<TxDictionary>(*views_[1], 2 * config_.gen.num_flows);
+  }
+
+  std::vector<stm::Word> words;
+  words.reserve(n_packets);
+  for (Packet* p : stream_.shuffled) {
+    words.push_back(reinterpret_cast<stm::Word>(p));
+  }
+  queue_->prefill(words);
+}
+
+void IntruderWorld::worker(unsigned tid) {
+  (void)tid;
+  core::View& qview = *views_.front();
+  core::View& dview = *views_.back();
+
+  // Completion buffer: a flow has at most max(flow length, longest
+  // signature) fragments (fragments are >= 1 byte).
+  std::vector<const Packet*> fragments(config_.gen.max_length + 64);
+  std::vector<std::uint8_t> assembled;
+
+  std::uint64_t local_flows = 0, local_attacks = 0, local_packets = 0;
+
+  try {
+    for (;;) {
+      if (stop_.stop_requested()) break;
+
+      const Packet* packet = nullptr;
+      qview.execute([&] {
+        stop_.throw_if_stopped();
+        packet = reinterpret_cast<const Packet*>(queue_->pop());
+        // Yield between the speculative accesses and the commit: this is
+        // the window in which another thread's commit can conflict, which
+        // a single-core host otherwise never exposes.
+        if (config_.yield_in_tx) core::yield_in_transaction();
+      });
+      if (packet == nullptr) break;  // stream drained
+      ++local_packets;
+
+      unsigned n_fragments = 0;
+      dview.execute([&] {
+        stop_.throw_if_stopped();
+        n_fragments = dictionary_->insert(packet, fragments.data(),
+                                          static_cast<unsigned>(fragments.size()));
+        if (config_.yield_in_tx) core::yield_in_transaction();
+      });
+      if (n_fragments == 0) continue;
+
+      // Outside any transaction: assemble (payloads are immutable) and scan.
+      std::size_t total_bytes = 0;
+      for (unsigned i = 0; i < n_fragments; ++i) {
+        total_bytes += fragments[i]->payload.size();
+      }
+      assembled.resize(total_bytes);
+      for (unsigned i = 0; i < n_fragments; ++i) {
+        const Packet& f = *fragments[i];
+        std::memcpy(assembled.data() + f.offset, f.payload.data(),
+                    f.payload.size());
+      }
+      ++local_flows;
+      if (detector_.scan(assembled.data(), assembled.size())) {
+        ++local_attacks;
+      }
+    }
+  } catch (const StopRequested&) {
+    // watchdog fired mid-transaction
+  }
+
+  flows_completed_.fetch_add(local_flows, std::memory_order_relaxed);
+  attacks_detected_.fetch_add(local_attacks, std::memory_order_relaxed);
+  packets_processed_.fetch_add(local_packets, std::memory_order_relaxed);
+}
+
+IntruderReport IntruderWorld::run() {
+  stop_.reset();
+  flows_completed_.store(0);
+  attacks_detected_.store(0);
+  packets_processed_.store(0);
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(config_.n_threads);
+  for (unsigned t = 0; t < config_.n_threads; ++t) {
+    threads.emplace_back([this, t] { worker(t); });
+  }
+  if (config_.time_cap_seconds > 0.0) {
+    const std::uint64_t expected = stream_.shuffled.size();
+    while (packets_processed_.load(std::memory_order_relaxed) < expected &&
+           timer.seconds() < config_.time_cap_seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    stop_.request_stop();
+  }
+  for (auto& th : threads) th.join();
+
+  IntruderReport report;
+  report.runtime_seconds = timer.seconds();
+  report.flows_completed = flows_completed_.load();
+  report.attacks_detected = attacks_detected_.load();
+  report.attacks_expected = stream_.attack_flows;
+  report.packets_processed = packets_processed_.load();
+  report.livelocked =
+      stop_.stop_requested() &&
+      report.packets_processed < stream_.shuffled.size();
+  for (const auto& v : views_) {
+    IntruderViewReport vr;
+    vr.stats = v->stats();
+    vr.final_quota = v->quota();
+    vr.delta = rac::delta_q(vr.stats, vr.final_quota);
+    report.total += vr.stats;
+    report.views.push_back(vr);
+  }
+  return report;
+}
+
+}  // namespace votm::intruder

@@ -1,0 +1,34 @@
+// Packet model for the Intruder workload (STAMP's intruder: network
+// packets are captured, reassembled into flows, and scanned for attack
+// signatures).
+//
+// A Packet is one fragment of a flow. Packets are generated up front and
+// are IMMUTABLE while the pipeline runs; the transactional shared state is
+// the packet queue and the reassembly dictionary, never the payload bytes
+// (this is also what keeps the two views disjoint: a transaction touches
+// either the queue view or the dictionary view, never both — the paper's
+// precondition for multi-view partitioning).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace votm::intruder {
+
+struct Packet {
+  std::uint64_t flow_id = 0;
+  std::uint32_t fragment_id = 0;    // position within the flow
+  std::uint32_t num_fragments = 0;  // total fragments of the flow
+  std::uint32_t offset = 0;         // byte offset of this fragment's payload
+  std::vector<std::uint8_t> payload;
+};
+
+struct Flow {
+  std::uint64_t id = 0;
+  bool is_attack = false;
+  std::vector<std::uint8_t> data;  // full payload (for verification)
+};
+
+}  // namespace votm::intruder

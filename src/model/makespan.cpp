@@ -1,0 +1,66 @@
+#include "model/makespan.hpp"
+
+#include <stdexcept>
+
+namespace votm::model {
+
+Aggregates aggregate(const Workload& w) {
+  Aggregates a;
+  for (const Transaction& tx : w) {
+    a.sum_cd += tx.c * tx.d;
+    a.sum_t += tx.t;
+  }
+  return a;
+}
+
+double makespan_tm(const Workload& w, unsigned n_threads) {
+  if (n_threads < 1) throw std::invalid_argument("n_threads must be >= 1");
+  const Aggregates a = aggregate(w);
+  return (a.sum_cd + a.sum_t) / static_cast<double>(n_threads);
+}
+
+double makespan_rac(const Workload& w, unsigned n_threads, unsigned q) {
+  if (n_threads < 2) throw std::invalid_argument("n_threads must be >= 2");
+  if (q < 1 || q > n_threads) throw std::invalid_argument("q out of [1, N]");
+  const Aggregates a = aggregate(w);
+  const double abort_scale =
+      static_cast<double>(q - 1) / static_cast<double>(n_threads - 1);
+  return (abort_scale * a.sum_cd + a.sum_t) / static_cast<double>(q);
+}
+
+double makespan_difference(const Workload& w, unsigned n_threads, unsigned q) {
+  return makespan_rac(w, n_threads, q) - makespan_tm(w, n_threads);
+}
+
+double contention_delta(const Workload& w, unsigned n_threads) {
+  if (n_threads < 2) throw std::invalid_argument("n_threads must be >= 2");
+  const Aggregates a = aggregate(w);
+  if (a.sum_t == 0.0) return a.sum_cd == 0.0 ? 0.0 : 1e300;
+  return a.sum_cd / (a.sum_t * static_cast<double>(n_threads - 1));
+}
+
+unsigned optimal_quota(const Workload& w, unsigned n_threads) {
+  unsigned best_q = n_threads;
+  double best = makespan_rac(w, n_threads, n_threads);
+  for (unsigned q = n_threads; q >= 1; --q) {
+    const double m = makespan_rac(w, n_threads, q);
+    // Strict improvement required: ties resolve to the larger quota, which
+    // maximises concurrency for equal predicted makespan.
+    if (m < best) {
+      best = m;
+      best_q = q;
+    }
+  }
+  return best_q;
+}
+
+double makespan_multi_view(const std::vector<ViewWorkload>& views,
+                           unsigned n_threads) {
+  double total = 0.0;
+  for (const ViewWorkload& v : views) {
+    total += makespan_rac(v.workload, n_threads, v.quota);
+  }
+  return total;
+}
+
+}  // namespace votm::model

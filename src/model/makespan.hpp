@@ -1,0 +1,64 @@
+// The paper's closed-form RAC performance model (Sec. II-A).
+//
+// A workload is a set of transactions T_i, each with
+//   t_i : conflict-free duration (start to commit),
+//   c_i : expected number of aborts under conventional TM (all N threads),
+//   d_i : average time wasted per abort.
+//
+// Eq. 1: makespan_TM  = (sum c_i d_i + t_i) / N
+// Eq. 2: makespan_RAC = (sum (Q-1)/(N-1) c_i d_i + t_i) / Q
+// Eq. 3: difference Delta and the decision quantity
+//        delta = sum(c_i d_i) / (sum(t_i) (N-1))   -- delta > 1 <=> RAC wins
+// Eq. 4/Observation 1: move Q toward smaller (delta(Q) > 1) or larger
+//        (delta(Q) < 1) quotas.
+// Eqs. 6-13/Observation 2: with two disjoint transaction subsets, the
+//        makespan of independently controlled views is never worse than a
+//        single view at any common quota.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace votm::model {
+
+struct Transaction {
+  double t;  // conflict-free duration
+  double c;  // expected aborts under conventional TM (N threads)
+  double d;  // average wasted time per abort
+};
+
+using Workload = std::vector<Transaction>;
+
+// Aggregates sum(c_i d_i) and sum(t_i).
+struct Aggregates {
+  double sum_cd = 0.0;
+  double sum_t = 0.0;
+};
+Aggregates aggregate(const Workload& w);
+
+// Eq. 1. Requires N >= 1.
+double makespan_tm(const Workload& w, unsigned n_threads);
+
+// Eq. 2. Requires 1 <= q <= n_threads, n_threads >= 2.
+double makespan_rac(const Workload& w, unsigned n_threads, unsigned q);
+
+// Eq. 3: makespan_rac - makespan_tm.
+double makespan_difference(const Workload& w, unsigned n_threads, unsigned q);
+
+// The paper's delta = sum(c_i d_i) / (sum(t_i) * (N - 1)).
+double contention_delta(const Workload& w, unsigned n_threads);
+
+// The quota minimising Eq. 2 over q in [1, n_threads] (exhaustive; ties go
+// to the larger quota, matching the paper's "set Q to N when delta <= 1").
+unsigned optimal_quota(const Workload& w, unsigned n_threads);
+
+// Multi-view makespan (Eq. 11): each view has its own workload and quota;
+// the total is the sum of per-view RAC makespans.
+struct ViewWorkload {
+  Workload workload;
+  unsigned quota;
+};
+double makespan_multi_view(const std::vector<ViewWorkload>& views,
+                           unsigned n_threads);
+
+}  // namespace votm::model

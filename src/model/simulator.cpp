@@ -1,0 +1,80 @@
+#include "model/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace votm::model {
+
+namespace {
+
+// Draws k ~ Binomial(floor(c) with the fractional part as an extra
+// Bernoulli trial, p). c is "expected aborts under conventional TM"; its
+// integer part gives the trial count, keeping E[k] = c * p exactly.
+std::uint64_t draw_aborts(double c, double p, Xoshiro256& rng) {
+  if (c <= 0.0 || p <= 0.0) return 0;
+  const auto trials = static_cast<std::uint64_t>(c);
+  const double frac = c - std::floor(c);
+  std::uint64_t k = 0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    if (rng.uniform01() < p) ++k;
+  }
+  if (frac > 0.0 && rng.uniform01() < frac * p) ++k;
+  return k;
+}
+
+}  // namespace
+
+SimResult simulate_rac(const Workload& w, const SimConfig& config) {
+  if (config.n_threads < 2) throw std::invalid_argument("n_threads must be >= 2");
+  if (config.quota < 1 || config.quota > config.n_threads) {
+    throw std::invalid_argument("quota out of [1, N]");
+  }
+  const double p = static_cast<double>(config.quota - 1) /
+                   static_cast<double>(config.n_threads - 1);
+  Xoshiro256 rng(config.seed);
+
+  // Min-heap of server free times, one server per admitted slot.
+  std::priority_queue<double, std::vector<double>, std::greater<>> servers;
+  for (unsigned i = 0; i < config.quota; ++i) servers.push(0.0);
+
+  SimResult result;
+  double makespan = 0.0;
+  for (const Transaction& tx : w) {
+    const double start = servers.top();
+    servers.pop();
+    const std::uint64_t k = draw_aborts(tx.c, p, rng);
+    const double wasted = static_cast<double>(k) * tx.d;
+    const double finish = start + wasted + tx.t;
+    servers.push(finish);
+    makespan = std::max(makespan, finish);
+    result.total_aborts += k;
+    result.aborted_time += wasted;
+    result.committed_time += tx.t;
+  }
+  result.makespan = makespan;
+  return result;
+}
+
+SimResult simulate_tm(const Workload& w, unsigned n_threads, std::uint64_t seed) {
+  SimConfig config;
+  config.n_threads = n_threads;
+  config.quota = n_threads;
+  config.seed = seed;
+  return simulate_rac(w, config);
+}
+
+double simulated_delta(const SimResult& r, unsigned quota) {
+  if (quota <= 1) return std::numeric_limits<double>::quiet_NaN();
+  if (r.committed_time == 0.0) {
+    return r.aborted_time == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return r.aborted_time / (r.committed_time * static_cast<double>(quota - 1));
+}
+
+}  // namespace votm::model

@@ -1,0 +1,44 @@
+// Discrete-event simulator of the RAC execution model.
+//
+// Replays the assumptions behind Eq. 2 operationally: n transactions are
+// executed by whichever of the Q admitted servers frees up first; each
+// execution of T_i first suffers k aborts (k ~ Binomial(c_i, (Q-1)/(N-1)),
+// the paper's conflict-admission probability), each costing d_i, then runs
+// for t_i and commits.
+//
+// Purpose: (a) property-test the closed form — the simulated makespan must
+// converge to Eq. 2 as n grows; (b) regenerate the paper's *predicted*
+// tables at N = 16 on any host (bench/model_tables), independent of how
+// many cores this machine actually has.
+#pragma once
+
+#include <cstdint>
+
+#include "model/makespan.hpp"
+
+namespace votm::model {
+
+struct SimResult {
+  double makespan = 0.0;
+  std::uint64_t total_aborts = 0;
+  double aborted_time = 0.0;    // sum of k_i * d_i
+  double committed_time = 0.0;  // sum of t_i
+};
+
+struct SimConfig {
+  unsigned n_threads = 16;  // N
+  unsigned quota = 16;      // Q
+  std::uint64_t seed = 1;
+};
+
+// Greedy list scheduling of `w` on `quota` servers with random abort draws.
+SimResult simulate_rac(const Workload& w, const SimConfig& config);
+
+// The same workload under conventional TM (quota = N, abort scale 1).
+SimResult simulate_tm(const Workload& w, unsigned n_threads, std::uint64_t seed = 1);
+
+// Simulated delta(Q) estimate, mirroring the runtime estimator (Eq. 5):
+// aborted_time / (committed_time * (Q - 1)); NaN when quota <= 1.
+double simulated_delta(const SimResult& r, unsigned quota);
+
+}  // namespace votm::model

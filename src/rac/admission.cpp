@@ -1,0 +1,85 @@
+#include "rac/admission.hpp"
+
+#include <algorithm>
+
+namespace votm::rac {
+
+AdmissionController::AdmissionController(unsigned max_threads,
+                                         unsigned initial_quota)
+    : max_threads_(std::max(1u, max_threads)),
+      quota_(std::clamp(initial_quota, 1u, max_threads_)) {}
+
+unsigned AdmissionController::admit() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !paused_ && admitted_ < quota_; });
+  ++admitted_;
+  return quota_;
+}
+
+bool AdmissionController::try_admit(unsigned* quota_out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (paused_ || admitted_ >= quota_) return false;
+  ++admitted_;
+  if (quota_out != nullptr) *quota_out = quota_;
+  return true;
+}
+
+void AdmissionController::leave() {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --admitted_;
+    drained = admitted_ == 0;
+  }
+  // A set_quota() call raising Q out of lock mode may be waiting for the
+  // view to drain; notify_one could wake an admission waiter instead of it,
+  // so broadcast on the drained edge.
+  if (drained) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+}
+
+void AdmissionController::pause() {
+  std::unique_lock<std::mutex> lk(mu_);
+  paused_ = true;  // stops new admissions immediately
+  cv_.wait(lk, [&] { return admitted_ == 0; });
+}
+
+void AdmissionController::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+unsigned AdmissionController::quota() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quota_;
+}
+
+unsigned AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admitted_;
+}
+
+void AdmissionController::set_quota(unsigned q) {
+  bool raised = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const unsigned clamped = std::clamp(q, 1u, max_threads_);
+    if (clamped == quota_) return;
+    if (quota_ == 1 && clamped > 1) {
+      // Leaving lock mode: wait until no lock-mode thread is inside, so a
+      // newly admitted transactional thread can never overlap one.
+      cv_.wait(lk, [&] { return admitted_ == 0; });
+    }
+    raised = clamped > quota_;
+    quota_ = clamped;
+  }
+  if (raised) cv_.notify_all();
+}
+
+}  // namespace votm::rac

@@ -1,0 +1,69 @@
+// The admission controller: RAC's P/Q gate (paper Sec. II).
+//
+// Before a view is accessed, acquire_view compares the number of admitted
+// threads P with the quota Q: if P < Q the thread enters (P + 1) and starts
+// a transaction; otherwise it blocks until P < Q. release_view (and every
+// abort-and-reacquire cycle) decrements P.
+//
+// Blocking uses a condition variable rather than spinning: the paper runs
+// N = 16 threads and the quota may be 1, so up to 15 threads can be parked
+// at once — spinning would destroy the lock-mode (Q = 1) results on an
+// oversubscribed host.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace votm::rac {
+
+class AdmissionController {
+ public:
+  // initial_quota is clamped to [1, max_threads].
+  AdmissionController(unsigned max_threads, unsigned initial_quota);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Blocks until P < Q, then enters (P += 1). Returns the quota observed
+  // atomically with the admission — the caller uses it to pick lock mode
+  // (Q == 1) vs transactional mode for this execution. The mode-switch
+  // safety argument needs the snapshot to be taken under the same lock.
+  unsigned admit();
+
+  // Non-blocking variant; on success stores the observed quota.
+  bool try_admit(unsigned* quota_out = nullptr);
+
+  // Leaves (P -= 1) and wakes one blocked thread.
+  void leave();
+
+  unsigned quota() const;
+  unsigned admitted() const;
+  unsigned max_threads() const noexcept { return max_threads_; }
+
+  // Blocks new admissions and waits until the view drains (P == 0).
+  // Used for operations that need the view quiescent while it stays alive:
+  // swapping the TM algorithm instance (adaptive TM, paper Sec. IV-C).
+  // Calls do not nest.
+  void pause();
+
+  // Re-allows admissions after pause().
+  void resume();
+
+  // Sets Q (clamped to [1, max_threads]); raising it wakes all waiters.
+  //
+  // Raising the quota *from 1* first waits for the view to drain
+  // (admitted == 0): a thread admitted at Q == 1 runs in lock mode with
+  // uninstrumented accesses, and no transactional thread may overlap it.
+  // Lowering, or changes between transactional quotas, apply immediately.
+  void set_quota(unsigned q);
+
+ private:
+  const unsigned max_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned quota_;
+  unsigned admitted_ = 0;
+  bool paused_ = false;
+};
+
+}  // namespace votm::rac

@@ -1,0 +1,32 @@
+// The contention estimator delta(Q) — paper Eq. 5:
+//
+//   delta(Q) = CPUcycles_aborted_tx / (CPUcycles_successful_tx * (Q - 1))
+//
+// Observation 1: delta(Q) > 1 => decrease Q; delta(Q) < 1 => increase Q.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "stm/txstats.hpp"
+
+namespace votm::rac {
+
+// Returns NaN at Q <= 1 (the paper's tables print "N/A" there) and +inf
+// when there are aborted cycles but no successful ones — the livelock
+// signature, which must drive Q down as hard as possible.
+inline double delta_q(std::uint64_t aborted_cycles, std::uint64_t committed_cycles,
+                      unsigned q) noexcept {
+  if (q <= 1) return std::numeric_limits<double>::quiet_NaN();
+  if (committed_cycles == 0) {
+    return aborted_cycles == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(aborted_cycles) /
+         (static_cast<double>(committed_cycles) * static_cast<double>(q - 1));
+}
+
+inline double delta_q(const stm::StatsSnapshot& s, unsigned q) noexcept {
+  return delta_q(s.aborted_cycles, s.committed_cycles, q);
+}
+
+}  // namespace votm::rac

@@ -1,0 +1,32 @@
+#include "rac/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace votm::rac {
+
+std::string AdaptationTrace::to_csv() const {
+  const std::vector<TracePoint> points = snapshot();
+  std::string out = "event_count,epoch_commits,epoch_aborts,delta,"
+                    "quota_before,quota_after\n";
+  char line[160];
+  for (const TracePoint& p : points) {
+    if (std::isnan(p.delta)) {
+      std::snprintf(line, sizeof line, "%llu,%llu,%llu,,%u,%u\n",
+                    static_cast<unsigned long long>(p.event_count),
+                    static_cast<unsigned long long>(p.epoch_commits),
+                    static_cast<unsigned long long>(p.epoch_aborts),
+                    p.quota_before, p.quota_after);
+    } else {
+      std::snprintf(line, sizeof line, "%llu,%llu,%llu,%.6g,%u,%u\n",
+                    static_cast<unsigned long long>(p.event_count),
+                    static_cast<unsigned long long>(p.epoch_commits),
+                    static_cast<unsigned long long>(p.epoch_aborts), p.delta,
+                    p.quota_before, p.quota_after);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace votm::rac

@@ -1,0 +1,56 @@
+// Adaptation tracing: time series of RAC decisions.
+//
+// The paper's Tables VI/X report only the quota RAC *settles* on; to see
+// HOW it gets there (the halving cascade out of a livelock, the damping
+// that prevents 2 <-> 4 oscillation), views can record one TracePoint per
+// adaptation epoch. The recorder is append-only under the adaptation lock
+// (one writer at a time by construction) and snapshotted for reporting.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace votm::rac {
+
+struct TracePoint {
+  std::uint64_t event_count;  // commits + aborts when the epoch closed
+  std::uint64_t epoch_commits;
+  std::uint64_t epoch_aborts;
+  double delta;       // delta(Q) of the closing epoch
+  unsigned quota_before;
+  unsigned quota_after;
+};
+
+class AdaptationTrace {
+ public:
+  void record(const TracePoint& point) {
+    std::lock_guard<std::mutex> lk(mu_);
+    points_.push_back(point);
+  }
+
+  std::vector<TracePoint> snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return points_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return points_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    points_.clear();
+  }
+
+  // CSV with header, for offline plotting.
+  std::string to_csv() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TracePoint> points_;
+};
+
+}  // namespace votm::rac

@@ -1,0 +1,31 @@
+// Transaction abort signalling.
+//
+// A conflict detected anywhere inside a transaction (read, write, or
+// commit-time validation) funnels through TxThread::conflict(), which rolls
+// the transaction back and then transfers control to the retry point:
+// either by throwing TxConflict (C++ lambda API, stm::atomically,
+// View::execute) or by longjmp (the C-style acquire_view API of the paper's
+// Table I). TxConflict must never escape to user code.
+#pragma once
+
+#include <cstdint>
+
+namespace votm::stm {
+
+// Why a transaction had to roll back. Carried for diagnostics and the
+// failure-injection tests; the retry behaviour is identical for all kinds.
+enum class ConflictKind : std::uint8_t {
+  kReadLocked,      // read found an orec locked by another transaction
+  kWriteLocked,     // write found an orec locked by another transaction
+  kValidationFail,  // snapshot/read-set validation failed
+  kCommitFail,      // commit-time acquisition or validation failed
+  kExplicit,        // user called votm::abort_tx()
+};
+
+struct TxConflict {
+  ConflictKind kind;
+};
+
+const char* to_string(ConflictKind kind) noexcept;
+
+}  // namespace votm::stm

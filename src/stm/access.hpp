@@ -1,0 +1,22 @@
+// Racy-by-design word access helpers.
+//
+// Optimistic STM reads race with commit-time write-back by construction;
+// the algorithms detect and resolve those races at the protocol level.
+// To keep the C++ memory model happy we route every access to shared words
+// through the compiler's atomic builtins (acquire loads, release stores)
+// instead of plain dereferences.
+#pragma once
+
+#include "stm/logs.hpp"
+
+namespace votm::stm {
+
+inline Word load_word(const Word* addr) noexcept {
+  return __atomic_load_n(addr, __ATOMIC_ACQUIRE);
+}
+
+inline void store_word(Word* addr, Word value) noexcept {
+  __atomic_store_n(addr, value, __ATOMIC_RELEASE);
+}
+
+}  // namespace votm::stm

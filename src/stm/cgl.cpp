@@ -1,0 +1,41 @@
+#include "stm/cgl.hpp"
+
+#include "stm/access.hpp"
+
+namespace votm::stm {
+
+void CglEngine::begin(TxThread& tx) {
+  mu_.lock();
+  tx.snapshot = 1;  // "holding the view lock" marker for rollback()
+  // Accounting starts after acquisition: queueing for the lock is
+  // admission time, not transaction time.
+  begin_common(tx, this);
+}
+
+Word CglEngine::read(TxThread& tx, const Word* addr) {
+  (void)tx;
+  return load_word(addr);
+}
+
+void CglEngine::write(TxThread& tx, Word* addr, Word value) {
+  if (tx.read_only) {
+    tx.misuse("write inside a read-only transaction (acquire_Rview)");
+  }
+  store_word(addr, value);
+}
+
+void CglEngine::commit(TxThread& tx) {
+  tx.snapshot = 0;
+  mu_.unlock();
+}
+
+void CglEngine::rollback(TxThread& tx) {
+  // Reachable only via user exceptions (CGL never conflicts); in-place
+  // writes stand, the lock must be released.
+  if (tx.snapshot == 1) {
+    tx.snapshot = 0;
+    mu_.unlock();
+  }
+}
+
+}  // namespace votm::stm

@@ -1,0 +1,29 @@
+// CGL: coarse-grained lock "engine" — a mutex-guarded critical section with
+// uninstrumented reads and writes. This is what RAC's lock mode (Q = 1)
+// executes: the paper's acquire_view at Q = 1 "is equivalent to a lock
+// acquisition ... to avoid the transactional overhead" (Sec. II). It also
+// serves as the single-threaded performance baseline in the microbenches.
+#pragma once
+
+#include <mutex>
+
+#include "stm/engine.hpp"
+
+namespace votm::stm {
+
+class CglEngine final : public TxEngine {
+ public:
+  const char* name() const noexcept override { return "CGL"; }
+  bool speculative() const noexcept override { return false; }
+
+  void begin(TxThread& tx) override;
+  Word read(TxThread& tx, const Word* addr) override;
+  void write(TxThread& tx, Word* addr, Word value) override;
+  void commit(TxThread& tx) override;
+  void rollback(TxThread& tx) override;
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace votm::stm

@@ -1,0 +1,177 @@
+// The transactional engine interface and the per-thread descriptor.
+//
+// Mirrors RSTM's structure at the scale this reproduction needs: an engine
+// (one *instance* per view, carrying that view's private metadata) exposes
+// begin/read/write/commit/rollback; a TxThread carries the thread's logs,
+// abort-control state and cycle accounting, and is reused across
+// transactions. VOTM builds on top: each View owns one engine instance and
+// wraps admission control (RAC) around begin/commit.
+#pragma once
+
+#include <csetjmp>
+#include <cstdint>
+#include <string>
+
+#include "stm/abort.hpp"
+#include "stm/logs.hpp"
+#include "stm/orec_table.hpp"
+#include "stm/txstats.hpp"
+#include "util/backoff.hpp"
+#include "util/cycles.hpp"
+
+namespace votm::stm {
+
+class TxEngine;
+
+// How control returns to the retry point after a rollback.
+enum class AbortMode : std::uint8_t {
+  kThrow,    // throw TxConflict; a C++ retry loop catches it
+  kLongjmp,  // longjmp to the checkpoint captured by acquire_view()
+};
+
+// Per-orec lock record kept by encounter-time engines so aborts can restore
+// the pre-lock version.
+struct OwnedOrec {
+  Orec* orec;
+  std::uint64_t old_version;
+};
+
+// Per-thread transaction descriptor. One per OS thread (thread_local in the
+// core layer); engines keep no per-thread state of their own.
+struct TxThread {
+  // --- identity / control -------------------------------------------------
+  TxEngine* engine = nullptr;  // engine of the active transaction, else null
+  bool in_tx = false;
+  bool read_only = false;
+  AbortMode abort_mode = AbortMode::kThrow;
+  std::jmp_buf* checkpoint = nullptr;  // valid in kLongjmp mode
+
+  // Invoked after rollback, before control transfer; the VOTM layer uses it
+  // to leave the admission controller (paper Sec. II: "abort and roll back
+  // the transaction, decrease P by 1, and reacquire the view").
+  void (*on_rollback)(TxThread&) = nullptr;
+  // Invoked instead of on_rollback when the transaction dies for good (API
+  // misuse): the owner must release admission AND forget the active view,
+  // since no retry follows.
+  void (*on_misuse)(TxThread&) = nullptr;
+  void* rollback_arg = nullptr;  // the View, in the core layer
+
+  // --- logs (engine-specific subsets are used) ----------------------------
+  WriteSet wset;                  // redo log (NOrec, OrecEagerRedo)
+  ValueReadLog vlog;              // value-based read log (NOrec)
+  std::vector<Orec*> rlog;        // orec read log (OrecEagerRedo)
+  std::vector<OwnedOrec> wlocks;  // orecs locked at encounter time
+
+  // --- snapshots -----------------------------------------------------------
+  std::uint64_t snapshot = 0;    // NOrec/TML sequence-lock snapshot
+  std::uint64_t start_time = 0;  // OrecEagerRedo begin timestamp
+
+  // --- accounting ----------------------------------------------------------
+  std::uint64_t tx_start_cycles = 0;
+  // Cycles to subtract from this transaction's duration when it ends:
+  // cooperative in-tx yields (harness-injected to force transaction overlap
+  // on oversubscribed hosts) are stand-ins for free parallel overlap and
+  // must not pollute the delta(Q) estimator or the cycle tables.
+  std::uint64_t excluded_cycles = 0;
+  // Net duration of the most recently ended transaction (commit or abort);
+  // consumed by the view layer for latency histograms.
+  std::uint64_t last_tx_cycles = 0;
+  std::uint64_t consecutive_aborts = 0;
+  EpochStats* stats = nullptr;  // owning view's counters (may be null)
+  Backoff backoff{BackoffPolicy::kNone};
+
+  // Rolls back the active transaction and transfers control to the retry
+  // point. Never returns.
+  [[noreturn]] void conflict(ConflictKind kind);
+
+  // Rolls back and throws std::logic_error: API misuse (e.g. a write inside
+  // a read-only acquire_Rview transaction). Deliberately NOT a TxConflict,
+  // so retry loops propagate it to the caller instead of re-executing.
+  [[noreturn]] void misuse(const char* what);
+
+  void clear_logs() noexcept {
+    wset.clear();
+    vlog.clear();
+    rlog.clear();
+    wlocks.clear();
+  }
+};
+
+// One engine instance per view. All virtual methods are called with the
+// TxThread of the executing thread; `read`/`write` are only called between
+// a successful `begin` and the matching `commit`/rollback.
+class TxEngine {
+ public:
+  virtual ~TxEngine() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  // True for engines that speculate (can abort); false for CGL, whose
+  // "transactions" are plain critical sections.
+  virtual bool speculative() const noexcept { return true; }
+
+  virtual void begin(TxThread& tx) = 0;
+  virtual Word read(TxThread& tx, const Word* addr) = 0;
+  virtual void write(TxThread& tx, Word* addr, Word value) = 0;
+
+  // Attempts to commit; on failure calls tx.conflict() (does not return).
+  virtual void commit(TxThread& tx) = 0;
+
+  // Releases engine-held resources of an in-flight transaction (locks,
+  // logs). Must be idempotent with respect to a cleanly finished tx.
+  virtual void rollback(TxThread& tx) = 0;
+};
+
+// Marks the logical start of a transaction for cycle accounting. Engines
+// call this at the end of begin(), after any initial waiting (waiting for a
+// writer's sequence lock or a mutex is admission time, not transaction
+// time, and must not pollute the delta(Q) estimate).
+inline void begin_common(TxThread& tx, TxEngine* engine) noexcept {
+  tx.engine = engine;
+  tx.in_tx = true;
+  tx.tx_start_cycles = rdcycles();
+  tx.excluded_cycles = 0;
+}
+
+// Cycles this transaction has consumed so far, net of excluded time.
+inline std::uint64_t tx_elapsed_cycles(const TxThread& tx) noexcept {
+  const std::uint64_t elapsed = rdcycles() - tx.tx_start_cycles;
+  return elapsed > tx.excluded_cycles ? elapsed - tx.excluded_cycles : 0;
+}
+
+// Runs `body` as a transaction on `engine` with automatic retry; the
+// standalone STM entry point used by the tests and by code that does not
+// need views/RAC. `body` receives (tx) and must perform all shared accesses
+// through engine.read/engine.write (or the typed helpers in core/access.hpp).
+template <typename Body>
+void atomically(TxEngine& engine, TxThread& tx, Body&& body) {
+  tx.abort_mode = AbortMode::kThrow;
+  for (;;) {
+    engine.begin(tx);
+    try {
+      body(tx);
+      engine.commit(tx);
+      tx.last_tx_cycles = tx_elapsed_cycles(tx);
+      if (tx.stats != nullptr) {
+        tx.stats->add_commit(tx.last_tx_cycles);
+      }
+      tx.in_tx = false;
+      tx.engine = nullptr;
+      tx.consecutive_aborts = 0;
+      tx.backoff.reset();
+      return;
+    } catch (const TxConflict&) {
+      tx.backoff.pause();
+      continue;  // conflict() already rolled back and accounted
+    } catch (...) {
+      // User exception: roll back side effects, then propagate.
+      engine.rollback(tx);
+      tx.clear_logs();
+      tx.in_tx = false;
+      tx.engine = nullptr;
+      throw;
+    }
+  }
+}
+
+}  // namespace votm::stm

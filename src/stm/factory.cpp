@@ -1,0 +1,64 @@
+#include "stm/factory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stm/cgl.hpp"
+#include "stm/norec.hpp"
+#include "stm/orec_eager_redo.hpp"
+#include "stm/orec_eager_undo.hpp"
+#include "stm/orec_lazy.hpp"
+#include "stm/tml.hpp"
+
+namespace votm::stm {
+
+std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
+  switch (algo) {
+    case Algo::kNOrec:
+      return std::make_unique<NOrecEngine>();
+    case Algo::kOrecEagerRedo:
+      return std::make_unique<OrecEagerRedoEngine>(config.orec_table_size);
+    case Algo::kOrecLazy:
+      return std::make_unique<OrecLazyEngine>(config.orec_table_size);
+    case Algo::kOrecEagerUndo:
+      return std::make_unique<OrecEagerUndoEngine>(config.orec_table_size);
+    case Algo::kTml:
+      return std::make_unique<TmlEngine>();
+    case Algo::kCgl:
+      return std::make_unique<CglEngine>();
+  }
+  throw std::invalid_argument("unknown STM algorithm");
+}
+
+Algo algo_from_string(const std::string& name) {
+  std::string lower(name.size(), '\0');
+  std::transform(name.begin(), name.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "norec") return Algo::kNOrec;
+  if (lower == "oer" || lower == "oreceagerredo") return Algo::kOrecEagerRedo;
+  if (lower == "lazy" || lower == "oreclazy") return Algo::kOrecLazy;
+  if (lower == "undo" || lower == "oreceagerundo") return Algo::kOrecEagerUndo;
+  if (lower == "tml") return Algo::kTml;
+  if (lower == "cgl" || lower == "lock") return Algo::kCgl;
+  throw std::invalid_argument("unknown STM algorithm: " + name);
+}
+
+const char* to_string(Algo algo) noexcept {
+  switch (algo) {
+    case Algo::kNOrec:
+      return "NOrec";
+    case Algo::kOrecEagerRedo:
+      return "OrecEagerRedo";
+    case Algo::kOrecLazy:
+      return "OrecLazy";
+    case Algo::kOrecEagerUndo:
+      return "OrecEagerUndo";
+    case Algo::kTml:
+      return "TML";
+    case Algo::kCgl:
+      return "CGL";
+  }
+  return "?";
+}
+
+}  // namespace votm::stm

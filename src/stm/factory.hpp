@@ -1,0 +1,35 @@
+// Algorithm registry: RSTM-style "choose the TM algorithm by name".
+//
+// Every view picks its algorithm at creation; VOTM-OrecEagerRedo and
+// VOTM-NOrec in the paper are exactly these two choices applied to all
+// views of an application.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "stm/engine.hpp"
+
+namespace votm::stm {
+
+enum class Algo : std::uint8_t {
+  kNOrec,          // commit-time locking, value-based validation
+  kOrecEagerRedo,  // encounter-time locking, redo log
+  kOrecLazy,       // commit-time orec locking, redo log (TL2-style)
+  kOrecEagerUndo,  // encounter-time locking, in-place writes + undo log
+  kTml,            // single sequence lock, irrevocable writer
+  kCgl,            // coarse-grained mutex (RAC's Q = 1 lock mode)
+};
+
+struct EngineConfig {
+  std::size_t orec_table_size = OrecTable::kDefaultSize;
+};
+
+std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config = {});
+
+// Parses "norec", "oer"/"oreceagerredo", "lazy"/"oreclazy",
+// "undo"/"oreceagerundo", "tml", "cgl" (case-insensitive).
+Algo algo_from_string(const std::string& name);
+const char* to_string(Algo algo) noexcept;
+
+}  // namespace votm::stm

@@ -1,0 +1,143 @@
+// Transaction-private logs: redo write set and value-based read log.
+//
+// Both structures are owned by TxThread and reused across transactions
+// (clear() keeps capacity), so steady-state transactions allocate nothing —
+// allocation inside the transactional fast path would both distort the
+// cycle accounting that drives RAC and contend on the heap lock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace votm::stm {
+
+using Word = std::uint64_t;
+
+// Redo-log write set: address -> speculative value, insertion-ordered for
+// write-back, with an open-addressing index for O(1) read-after-write
+// lookups and a 64-bit signature filter to skip lookups entirely when the
+// address cannot be present.
+class WriteSet {
+ public:
+  struct Entry {
+    Word* addr;
+    Word value;
+  };
+
+  WriteSet() { rebuild_index(16); }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  void clear() noexcept {
+    if (entries_.empty()) return;
+    entries_.clear();
+    filter_ = 0;
+    std::fill(index_.begin(), index_.end(), kEmpty);
+  }
+
+  // Returns true if addr may be present (cheap pre-check).
+  bool maybe_contains(const Word* addr) const noexcept {
+    return (filter_ & signature(addr)) != 0;
+  }
+
+  // Inserts or overwrites the speculative value for addr.
+  void insert(Word* addr, Word value) {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t slot = hash(addr) & mask;
+    while (index_[slot] != kEmpty) {
+      if (entries_[static_cast<std::size_t>(index_[slot])].addr == addr) {
+        entries_[static_cast<std::size_t>(index_[slot])].value = value;
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
+    index_[slot] = static_cast<std::int32_t>(entries_.size());
+    entries_.push_back(Entry{addr, value});
+    filter_ |= signature(addr);
+    if (entries_.size() * 2 > index_.size()) grow();
+  }
+
+  // Looks up addr; returns pointer to the logged value or nullptr.
+  const Word* lookup(const Word* addr) const noexcept {
+    if (!maybe_contains(addr)) return nullptr;
+    const std::size_t mask = index_.size() - 1;
+    std::size_t slot = hash(addr) & mask;
+    while (index_[slot] != kEmpty) {
+      const Entry& e = entries_[static_cast<std::size_t>(index_[slot])];
+      if (e.addr == addr) return &e.value;
+      slot = (slot + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  // Insertion-ordered iteration for commit-time write-back.
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  static constexpr std::int32_t kEmpty = -1;
+
+  static std::size_t hash(const Word* addr) noexcept {
+    auto x = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    x ^= x >> 17;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  static Word signature(const Word* addr) noexcept {
+    return Word{1} << (hash(addr) & 63);
+  }
+
+  void rebuild_index(std::size_t n) {
+    index_.assign(n, kEmpty);
+    const std::size_t mask = n - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t slot = hash(entries_[i].addr) & mask;
+      while (index_[slot] != kEmpty) slot = (slot + 1) & mask;
+      index_[slot] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  void grow() { rebuild_index(index_.size() * 2); }
+
+  std::vector<Entry> entries_;
+  std::vector<std::int32_t> index_;
+  Word filter_ = 0;
+};
+
+// NOrec value-based read log: (address, observed value) pairs. Validation
+// re-reads every address and compares values (Dalessandro et al., Sec. 3).
+class ValueReadLog {
+ public:
+  struct Entry {
+    const Word* addr;
+    Word value;
+  };
+
+  void clear() noexcept { entries_.clear(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  void push(const Word* addr, Word value) { entries_.push_back({addr, value}); }
+
+  // True if every logged location still holds its logged value.
+  bool values_match() const noexcept {
+    for (const Entry& e : entries_) {
+      if (__atomic_load_n(e.addr, __ATOMIC_ACQUIRE) != e.value) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace votm::stm

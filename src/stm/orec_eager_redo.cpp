@@ -1,0 +1,121 @@
+#include "stm/orec_eager_redo.hpp"
+
+#include "stm/access.hpp"
+
+namespace votm::stm {
+
+void OrecEagerRedoEngine::begin(TxThread& tx) {
+  tx.start_time = clock_.value.load(std::memory_order_acquire);
+  begin_common(tx, this);
+}
+
+bool OrecEagerRedoEngine::read_log_valid(TxThread& tx,
+                                         std::uint64_t bound) const noexcept {
+  for (const Orec* o : tx.rlog) {
+    const Orec::Packed p = o->load();
+    if (Orec::is_locked(p)) {
+      if (Orec::owner_of(p) != &tx) return false;
+    } else if (Orec::version_of(p) > bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OrecEagerRedoEngine::extend(TxThread& tx) {
+  // TinySTM-style timestamp extension: if nothing we read changed since
+  // start_time, the snapshot can be moved forward to `now`; otherwise the
+  // transaction is doomed.
+  const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
+  if (!read_log_valid(tx, tx.start_time)) {
+    tx.conflict(ConflictKind::kValidationFail);
+  }
+  tx.start_time = now;
+}
+
+Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
+  if (const Word* buffered = tx.wset.lookup(addr)) {
+    return *buffered;
+  }
+  Orec& o = orecs_.for_address(addr);
+  for (;;) {
+    const Orec::Packed before = o.load();
+    if (Orec::is_locked(before)) {
+      if (Orec::owner_of(before) == &tx) {
+        // We own the covering orec but this exact address is not in the
+        // redo log (orec aliasing): memory still holds the pre-tx value.
+        return load_word(addr);
+      }
+      // Aggressive self-abort on foreign lock: the paper's configuration,
+      // and the source of livelock at high contention.
+      tx.conflict(ConflictKind::kReadLocked);
+    }
+    if (Orec::version_of(before) > tx.start_time) {
+      extend(tx);
+      continue;
+    }
+    const Word value = load_word(addr);
+    if (o.load() == before) {
+      tx.rlog.push_back(&o);
+      return value;
+    }
+    // The orec moved under us mid-read; re-run the protocol.
+  }
+}
+
+void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
+  if (tx.read_only) {
+    tx.misuse("write inside a read-only transaction (acquire_Rview)");
+  }
+  Orec& o = orecs_.for_address(addr);
+  for (;;) {
+    const Orec::Packed p = o.load();
+    if (Orec::is_locked(p)) {
+      if (Orec::owner_of(p) == &tx) break;  // already ours
+      tx.conflict(ConflictKind::kWriteLocked);
+    }
+    if (Orec::version_of(p) > tx.start_time) {
+      extend(tx);
+      continue;
+    }
+    if (o.try_lock(p, &tx)) {
+      tx.wlocks.push_back(OwnedOrec{&o, Orec::version_of(p)});
+      break;
+    }
+    // Lost the CAS race; re-examine the orec.
+  }
+  tx.wset.insert(addr, value);
+}
+
+void OrecEagerRedoEngine::commit(TxThread& tx) {
+  if (tx.wlocks.empty()) {
+    // Read-only transactions are consistent as of start_time by the
+    // incremental validation/extension discipline.
+    tx.clear_logs();
+    return;
+  }
+  const std::uint64_t end_time =
+      clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // If anyone committed after we began, the read set must still be valid.
+  if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
+    tx.conflict(ConflictKind::kCommitFail);
+  }
+  for (const WriteSet::Entry& e : tx.wset.entries()) {
+    store_word(e.addr, e.value);
+  }
+  for (const OwnedOrec& w : tx.wlocks) {
+    w.orec->unlock_to_version(end_time);
+  }
+  tx.clear_logs();
+}
+
+void OrecEagerRedoEngine::rollback(TxThread& tx) {
+  // Release encounter-time locks, restoring the pre-lock versions; the redo
+  // log was never applied, so memory is untouched.
+  for (const OwnedOrec& w : tx.wlocks) {
+    w.orec->unlock_to_version(w.old_version);
+  }
+  tx.wlocks.clear();
+}
+
+}  // namespace votm::stm

@@ -1,0 +1,51 @@
+// OrecEagerRedo: encounter-time locking with redo logging (RSTM's
+// OrecEagerRedo; the locking discipline of TinySTM in write-back mode).
+//
+// Writers acquire the ownership record covering an address at first write
+// (encounter time) and buffer the value in a redo log; readers validate
+// against a per-instance version clock with timestamp extension. A reader
+// or writer that meets a foreign lock aborts itself and retries immediately
+// — the aggressive policy under which the paper observes livelock at high
+// contention (Tables III and V, Q >= 16).
+#pragma once
+
+#include <atomic>
+
+#include "stm/engine.hpp"
+#include "stm/orec_table.hpp"
+#include "util/cacheline.hpp"
+
+namespace votm::stm {
+
+class OrecEagerRedoEngine final : public TxEngine {
+ public:
+  explicit OrecEagerRedoEngine(std::size_t orec_table_size = OrecTable::kDefaultSize)
+      : orecs_(orec_table_size) {}
+
+  const char* name() const noexcept override { return "OrecEagerRedo"; }
+
+  void begin(TxThread& tx) override;
+  Word read(TxThread& tx, const Word* addr) override;
+  void write(TxThread& tx, Word* addr, Word value) override;
+  void commit(TxThread& tx) override;
+  void rollback(TxThread& tx) override;
+
+  std::uint64_t clock() const noexcept {
+    return clock_.value.load(std::memory_order_relaxed);
+  }
+  OrecTable& orec_table() noexcept { return orecs_; }
+
+ private:
+  // Validates the orec read log; returns false if any orec is foreign-locked
+  // or has advanced past `bound`.
+  bool read_log_valid(TxThread& tx, std::uint64_t bound) const noexcept;
+
+  // Timestamp extension (TinySTM-style): re-validate and move start_time
+  // forward; aborts via tx.conflict() when validation fails.
+  void extend(TxThread& tx);
+
+  CacheLinePadded<std::atomic<std::uint64_t>> clock_{};
+  OrecTable orecs_;
+};
+
+}  // namespace votm::stm

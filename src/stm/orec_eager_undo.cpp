@@ -1,0 +1,120 @@
+#include "stm/orec_eager_undo.hpp"
+
+#include "stm/access.hpp"
+
+namespace votm::stm {
+
+// This engine repurposes TxThread::vlog as its UNDO log: (address, value
+// before the first/each overwrite), applied in reverse order on rollback.
+// The redo-family fields (wset) stay unused.
+
+void OrecEagerUndoEngine::begin(TxThread& tx) {
+  tx.start_time = clock_.value.load(std::memory_order_acquire);
+  begin_common(tx, this);
+}
+
+bool OrecEagerUndoEngine::read_log_valid(TxThread& tx,
+                                         std::uint64_t bound) const noexcept {
+  for (const Orec* o : tx.rlog) {
+    const Orec::Packed p = o->load();
+    if (Orec::is_locked(p)) {
+      if (Orec::owner_of(p) != &tx) return false;
+    } else if (Orec::version_of(p) > bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OrecEagerUndoEngine::extend(TxThread& tx) {
+  const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
+  if (!read_log_valid(tx, tx.start_time)) {
+    tx.conflict(ConflictKind::kValidationFail);
+  }
+  tx.start_time = now;
+}
+
+Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
+  Orec& o = orecs_.for_address(addr);
+  for (;;) {
+    const Orec::Packed before = o.load();
+    if (Orec::is_locked(before)) {
+      if (Orec::owner_of(before) == &tx) {
+        // Own lock: memory holds our speculative (write-through) value.
+        return load_word(addr);
+      }
+      // Foreign lock covers an in-place SPECULATIVE value: never read it.
+      tx.conflict(ConflictKind::kReadLocked);
+    }
+    if (Orec::version_of(before) > tx.start_time) {
+      extend(tx);
+      continue;
+    }
+    const Word value = load_word(addr);
+    if (o.load() == before) {
+      tx.rlog.push_back(&o);
+      return value;
+    }
+  }
+}
+
+void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
+  if (tx.read_only) {
+    tx.misuse("write inside a read-only transaction (acquire_Rview)");
+  }
+  Orec& o = orecs_.for_address(addr);
+  for (;;) {
+    const Orec::Packed p = o.load();
+    if (Orec::is_locked(p)) {
+      if (Orec::owner_of(p) == &tx) break;
+      tx.conflict(ConflictKind::kWriteLocked);
+    }
+    if (Orec::version_of(p) > tx.start_time) {
+      extend(tx);
+      continue;
+    }
+    if (o.try_lock(p, &tx)) {
+      tx.wlocks.push_back(OwnedOrec{&o, Orec::version_of(p)});
+      break;
+    }
+  }
+  // Write-through: save the old value, then update memory in place.
+  tx.vlog.push(addr, load_word(addr));
+  store_word(addr, value);
+}
+
+void OrecEagerUndoEngine::commit(TxThread& tx) {
+  if (tx.wlocks.empty()) {
+    tx.clear_logs();
+    return;
+  }
+  const std::uint64_t end_time =
+      clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
+    // conflict() -> rollback() undoes the in-place writes.
+    tx.conflict(ConflictKind::kCommitFail);
+  }
+  // Memory already holds the final values; just publish the versions.
+  for (const OwnedOrec& w : tx.wlocks) {
+    w.orec->unlock_to_version(end_time);
+  }
+  tx.clear_logs();
+}
+
+void OrecEagerUndoEngine::rollback(TxThread& tx) {
+  // Restore memory in reverse write order (later writes undone first, so
+  // multiple writes to one address net out to the original value), THEN
+  // release the orecs — readers must not see restored values as committed
+  // until the locks drop.
+  const auto& undo = tx.vlog.entries();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    store_word(const_cast<Word*>(it->addr), it->value);
+  }
+  tx.vlog.clear();
+  for (const OwnedOrec& w : tx.wlocks) {
+    w.orec->unlock_to_version(w.old_version);
+  }
+  tx.wlocks.clear();
+}
+
+}  // namespace votm::stm

@@ -1,0 +1,51 @@
+// OrecEagerUndo: encounter-time locking with in-place writes and an undo
+// log — TinySTM's write-through mode, the fourth corner of the design
+// square spanned with OrecEagerRedo (eager/redo), OrecLazy (lazy/redo) and
+// NOrec (no orecs).
+//
+// Writes lock the covering orec, save the old value to an undo log, and
+// update memory directly: commits are cheap (no write-back pass), aborts
+// are expensive (undo pass). That cost asymmetry is exactly the wrong one
+// under high contention — which makes this engine the sharpest ablation of
+// the paper's claim that encounter-time locking needs admission control:
+// every aborted transaction now also pays to restore memory.
+//
+// Readers of a foreign-locked orec abort (the in-place value is
+// speculative); readers of an unlocked orec validate by version with
+// timestamp extension, like the other orec engines.
+#pragma once
+
+#include <atomic>
+
+#include "stm/engine.hpp"
+#include "stm/orec_table.hpp"
+#include "util/cacheline.hpp"
+
+namespace votm::stm {
+
+class OrecEagerUndoEngine final : public TxEngine {
+ public:
+  explicit OrecEagerUndoEngine(std::size_t orec_table_size = OrecTable::kDefaultSize)
+      : orecs_(orec_table_size) {}
+
+  const char* name() const noexcept override { return "OrecEagerUndo"; }
+
+  void begin(TxThread& tx) override;
+  Word read(TxThread& tx, const Word* addr) override;
+  void write(TxThread& tx, Word* addr, Word value) override;
+  void commit(TxThread& tx) override;
+  void rollback(TxThread& tx) override;
+
+  std::uint64_t clock() const noexcept {
+    return clock_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool read_log_valid(TxThread& tx, std::uint64_t bound) const noexcept;
+  void extend(TxThread& tx);
+
+  CacheLinePadded<std::atomic<std::uint64_t>> clock_{};
+  OrecTable orecs_;
+};
+
+}  // namespace votm::stm

@@ -1,0 +1,122 @@
+#include "stm/orec_lazy.hpp"
+
+#include <thread>
+
+#include "stm/access.hpp"
+
+namespace votm::stm {
+
+void OrecLazyEngine::begin(TxThread& tx) {
+  tx.start_time = clock_.value.load(std::memory_order_acquire);
+  begin_common(tx, this);
+}
+
+bool OrecLazyEngine::read_log_valid(TxThread& tx,
+                                    std::uint64_t bound) const noexcept {
+  for (const Orec* o : tx.rlog) {
+    const Orec::Packed p = o->load();
+    if (Orec::is_locked(p)) {
+      if (Orec::owner_of(p) != &tx) return false;
+    } else if (Orec::version_of(p) > bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void OrecLazyEngine::extend(TxThread& tx) {
+  const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
+  if (!read_log_valid(tx, tx.start_time)) {
+    tx.conflict(ConflictKind::kValidationFail);
+  }
+  tx.start_time = now;
+}
+
+Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
+  if (const Word* buffered = tx.wset.lookup(addr)) {
+    return *buffered;
+  }
+  Orec& o = orecs_.for_address(addr);
+  int spins = 0;
+  for (;;) {
+    const Orec::Packed before = o.load();
+    if (Orec::is_locked(before)) {
+      // Lazy engines only hold locks during commit write-back; the window
+      // is short, so wait it out rather than abort. Yield periodically: on
+      // an oversubscribed host the committer may be descheduled, and a
+      // pure spin would block it for a whole quantum.
+      Backoff::cpu_relax();
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+      continue;
+    }
+    if (Orec::version_of(before) > tx.start_time) {
+      extend(tx);
+      continue;
+    }
+    const Word value = load_word(addr);
+    if (o.load() == before) {
+      tx.rlog.push_back(&o);
+      return value;
+    }
+  }
+}
+
+void OrecLazyEngine::write(TxThread& tx, Word* addr, Word value) {
+  if (tx.read_only) {
+    tx.misuse("write inside a read-only transaction (acquire_Rview)");
+  }
+  tx.wset.insert(addr, value);  // lazy: no lock until commit
+}
+
+void OrecLazyEngine::commit(TxThread& tx) {
+  if (tx.wset.empty()) {
+    tx.clear_logs();
+    return;
+  }
+  // Acquire all write locks now (commit time). A foreign lock or a version
+  // newer than our snapshot kills the transaction here — the rollback path
+  // releases whatever was acquired so far.
+  for (const WriteSet::Entry& e : tx.wset.entries()) {
+    Orec& o = orecs_.for_address(e.addr);
+    for (;;) {
+      const Orec::Packed p = o.load();
+      if (Orec::is_locked(p)) {
+        if (Orec::owner_of(p) == &tx) break;  // aliased earlier entry
+        tx.conflict(ConflictKind::kCommitFail);
+      }
+      if (Orec::version_of(p) > tx.start_time) {
+        // A commit since we started; the read set may still be valid.
+        extend(tx);
+        continue;
+      }
+      if (o.try_lock(p, &tx)) {
+        tx.wlocks.push_back(OwnedOrec{&o, Orec::version_of(p)});
+        break;
+      }
+    }
+  }
+  const std::uint64_t end_time =
+      clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
+    tx.conflict(ConflictKind::kCommitFail);
+  }
+  for (const WriteSet::Entry& e : tx.wset.entries()) {
+    store_word(e.addr, e.value);
+  }
+  for (const OwnedOrec& w : tx.wlocks) {
+    w.orec->unlock_to_version(end_time);
+  }
+  tx.clear_logs();
+}
+
+void OrecLazyEngine::rollback(TxThread& tx) {
+  for (const OwnedOrec& w : tx.wlocks) {
+    w.orec->unlock_to_version(w.old_version);
+  }
+  tx.wlocks.clear();
+}
+
+}  // namespace votm::stm

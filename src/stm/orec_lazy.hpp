@@ -1,0 +1,49 @@
+// OrecLazy: commit-time (lazy) orec locking with redo logging — the
+// TL2-style point of the RSTM design space, between OrecEagerRedo
+// (encounter-time locking) and NOrec (no orecs at all).
+//
+// Writes only buffer; ownership records are acquired at commit, so a
+// doomed transaction never blocks others mid-flight and write-write
+// conflicts surface only at commit time. Reads validate against the
+// per-instance version clock with timestamp extension, like OrecEagerRedo.
+//
+// Included for the ablation between locking disciplines: the paper's
+// livelock argument (Sec. III-D) blames *encounter-time* locking; OrecLazy
+// demonstrates that the same orec metadata without eager acquisition
+// behaves like the commit-time family under contention.
+#pragma once
+
+#include <atomic>
+
+#include "stm/engine.hpp"
+#include "stm/orec_table.hpp"
+#include "util/cacheline.hpp"
+
+namespace votm::stm {
+
+class OrecLazyEngine final : public TxEngine {
+ public:
+  explicit OrecLazyEngine(std::size_t orec_table_size = OrecTable::kDefaultSize)
+      : orecs_(orec_table_size) {}
+
+  const char* name() const noexcept override { return "OrecLazy"; }
+
+  void begin(TxThread& tx) override;
+  Word read(TxThread& tx, const Word* addr) override;
+  void write(TxThread& tx, Word* addr, Word value) override;
+  void commit(TxThread& tx) override;
+  void rollback(TxThread& tx) override;
+
+  std::uint64_t clock() const noexcept {
+    return clock_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool read_log_valid(TxThread& tx, std::uint64_t bound) const noexcept;
+  void extend(TxThread& tx);
+
+  CacheLinePadded<std::atomic<std::uint64_t>> clock_{};
+  OrecTable orecs_;
+};
+
+}  // namespace votm::stm

@@ -1,0 +1,92 @@
+// Ownership records (orecs) for encounter-time locking algorithms.
+//
+// Every OrecEagerRedo view owns a private OrecTable — this is the
+// "each view is essentially an independent TM system" property (paper
+// Sec. II-B): conflicts can only arise between transactions on the same
+// view, and the metadata of distinct views never shares state.
+//
+// An orec packs lock bit + payload into one word:
+//   unlocked: (version << 1)        -- LSB 0, version from the view clock
+//   locked:   (owner-pointer | 1)   -- LSB 1, owner is the TxThread
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace votm::stm {
+
+struct TxThread;  // engine.hpp
+
+class Orec {
+ public:
+  using Packed = std::uintptr_t;
+
+  static constexpr Packed pack_version(std::uint64_t version) noexcept {
+    return static_cast<Packed>(version) << 1;
+  }
+  static Packed pack_owner(const TxThread* owner) noexcept {
+    return reinterpret_cast<Packed>(owner) | 1u;
+  }
+  static constexpr bool is_locked(Packed p) noexcept { return (p & 1u) != 0; }
+  static constexpr std::uint64_t version_of(Packed p) noexcept {
+    return static_cast<std::uint64_t>(p >> 1);
+  }
+  static TxThread* owner_of(Packed p) noexcept {
+    return reinterpret_cast<TxThread*>(p & ~static_cast<Packed>(1));
+  }
+
+  Packed load(std::memory_order order = std::memory_order_acquire) const noexcept {
+    return state_.load(order);
+  }
+
+  bool try_lock(Packed expected_version, const TxThread* owner) noexcept {
+    return state_.compare_exchange_strong(expected_version, pack_owner(owner),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  // Only the owner may call these.
+  void unlock_to_version(std::uint64_t version) noexcept {
+    state_.store(pack_version(version), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Packed> state_{0};
+};
+
+// Fixed-size hash-indexed orec array. Word addresses map onto orecs; two
+// distinct addresses may alias the same orec (a legal over-approximation of
+// conflicts, exactly as in RSTM/TinySTM).
+class OrecTable {
+ public:
+  static constexpr std::size_t kDefaultSize = std::size_t{1} << 12;
+
+  explicit OrecTable(std::size_t size = kDefaultSize)
+      : mask_(size - 1), orecs_(size) {
+    // size must be a power of two for the mask to be a valid index map.
+    if ((size & (size - 1)) != 0 || size == 0) {
+      throw std::invalid_argument("OrecTable size must be a power of two");
+    }
+  }
+
+  Orec& for_address(const void* addr) noexcept {
+    auto x = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    x ^= x >> 13;
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 31;
+    return orecs_[static_cast<std::size_t>(x) & mask_];
+  }
+
+  std::size_t size() const noexcept { return orecs_.size(); }
+
+ private:
+  std::size_t mask_;
+  std::vector<Orec> orecs_;
+};
+
+}  // namespace votm::stm

@@ -1,0 +1,74 @@
+#include "stm/tml.hpp"
+
+#include <cassert>
+#include <thread>
+
+#include "stm/access.hpp"
+
+namespace votm::stm {
+
+void TmlEngine::begin(TxThread& tx) {
+  auto& seq = seqlock_.value;
+  int spins = 0;
+  for (;;) {
+    tx.snapshot = seq.load(std::memory_order_acquire);
+    if ((tx.snapshot & 1) == 0) break;
+    Backoff::cpu_relax();
+    if (++spins > 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  begin_common(tx, this);
+}
+
+Word TmlEngine::read(TxThread& tx, const Word* addr) {
+  if (holds_lock(tx)) {
+    // We are the exclusive, irrevocable writer; reads are plain.
+    return load_word(addr);
+  }
+  const Word value = load_word(addr);
+  if (seqlock_.value.load(std::memory_order_acquire) != tx.snapshot) {
+    tx.conflict(ConflictKind::kValidationFail);
+  }
+  return value;
+}
+
+void TmlEngine::write(TxThread& tx, Word* addr, Word value) {
+  if (tx.read_only) {
+    tx.misuse("write inside a read-only transaction (acquire_Rview)");
+  }
+  if (!holds_lock(tx)) {
+    // First write: acquire the sequence lock; from here the transaction is
+    // irrevocable and writes go in place.
+    std::uint64_t expected = tx.snapshot;
+    if (!seqlock_.value.compare_exchange_strong(expected, tx.snapshot + 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      tx.conflict(ConflictKind::kWriteLocked);
+    }
+    tx.snapshot += 1;  // odd: we hold the lock
+  }
+  store_word(addr, value);
+}
+
+void TmlEngine::commit(TxThread& tx) {
+  if (holds_lock(tx)) {
+    seqlock_.value.store(tx.snapshot + 1, std::memory_order_release);
+  }
+  tx.clear_logs();
+}
+
+void TmlEngine::rollback(TxThread& tx) {
+  // A TML writer is irrevocable: the protocol never calls conflict() after
+  // lock acquisition. This path is reachable only when *user code* throws
+  // out of a writing transaction; in-place writes cannot be undone, so the
+  // best we can do is release the lock and surface the exception (same
+  // semantics as throwing out of a mutex-guarded critical section).
+  if (holds_lock(tx)) {
+    seqlock_.value.store(tx.snapshot + 1, std::memory_order_release);
+    tx.snapshot = 0;
+  }
+}
+
+}  // namespace votm::stm

@@ -1,0 +1,35 @@
+// TML (Transactional Mutex Lock): the minimal sequence-lock STM
+// (Dalessandro et al.). Readers run optimistically against a single
+// sequence lock; the first write acquires it, making the writer irrevocable
+// and in-place. Included as a third RSTM-style plug-in: it is the
+// degenerate point of the design space between CGL and NOrec, and the
+// ablation benches use it to separate "TM instrumentation cost" from
+// "metadata contention cost".
+#pragma once
+
+#include <atomic>
+
+#include "stm/engine.hpp"
+#include "util/cacheline.hpp"
+
+namespace votm::stm {
+
+class TmlEngine final : public TxEngine {
+ public:
+  const char* name() const noexcept override { return "TML"; }
+
+  void begin(TxThread& tx) override;
+  Word read(TxThread& tx, const Word* addr) override;
+  void write(TxThread& tx, Word* addr, Word value) override;
+  void commit(TxThread& tx) override;
+  void rollback(TxThread& tx) override;
+
+ private:
+  bool holds_lock(const TxThread& tx) const noexcept {
+    return (tx.snapshot & 1) != 0;
+  }
+
+  CacheLinePadded<std::atomic<std::uint64_t>> seqlock_{};
+};
+
+}  // namespace votm::stm

@@ -1,0 +1,67 @@
+// Per-transaction cycle accounting feeding the RAC contention estimator.
+//
+// The paper estimates delta(Q) (Eq. 5) as
+//   CPUcycles_aborted_tx / (CPUcycles_successful_tx * (Q - 1)),
+// where both numerators are accumulated per *view*. Each thread counts
+// cycles between transaction begin and outcome, then flushes into the
+// owning view's EpochStats with relaxed atomics (the counters are
+// statistical; ordering is irrelevant).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+
+namespace votm::stm {
+
+struct alignas(kCacheLine) EpochStats {
+  std::atomic<std::uint64_t> aborted_cycles{0};
+  std::atomic<std::uint64_t> committed_cycles{0};
+  std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint64_t> commits{0};
+
+  void reset() noexcept {
+    aborted_cycles.store(0, std::memory_order_relaxed);
+    committed_cycles.store(0, std::memory_order_relaxed);
+    aborts.store(0, std::memory_order_relaxed);
+    commits.store(0, std::memory_order_relaxed);
+  }
+
+  void add_abort(std::uint64_t cycles) noexcept {
+    aborted_cycles.fetch_add(cycles, std::memory_order_relaxed);
+    aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void add_commit(std::uint64_t cycles) noexcept {
+    committed_cycles.fetch_add(cycles, std::memory_order_relaxed);
+    commits.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+// Snapshot for table reporting (monotonic totals, never reset).
+struct StatsSnapshot {
+  std::uint64_t aborted_cycles = 0;
+  std::uint64_t committed_cycles = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t commits = 0;
+
+  StatsSnapshot& operator+=(const StatsSnapshot& o) noexcept {
+    aborted_cycles += o.aborted_cycles;
+    committed_cycles += o.committed_cycles;
+    aborts += o.aborts;
+    commits += o.commits;
+    return *this;
+  }
+};
+
+inline StatsSnapshot snapshot(const EpochStats& s) noexcept {
+  return StatsSnapshot{
+      s.aborted_cycles.load(std::memory_order_relaxed),
+      s.committed_cycles.load(std::memory_order_relaxed),
+      s.aborts.load(std::memory_order_relaxed),
+      s.commits.load(std::memory_order_relaxed),
+  };
+}
+
+}  // namespace votm::stm

@@ -1,0 +1,71 @@
+// Contention-manager backoff policies.
+//
+// The paper's OrecEagerRedo configuration uses aggressive self-abort with
+// immediate retry, which is what produces the livelock rows in Tables III
+// and V. ExponentialBackoff exists for the ablation benches
+// (bench/ablation_backoff) that quantify how much of the livelock the
+// contention manager alone could have avoided.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace votm {
+
+enum class BackoffPolicy : std::uint8_t {
+  kNone,         // immediate retry (paper default)
+  kYield,        // std::this_thread::yield between retries
+  kExponential,  // randomized exponential pause
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy, std::uint64_t seed = 0xb0ffULL) noexcept
+      : policy_(policy), rng_(seed) {}
+
+  void reset() noexcept { exponent_ = kMinExponent; }
+
+  BackoffPolicy policy() const noexcept { return policy_; }
+  void set_policy(BackoffPolicy policy) noexcept { policy_ = policy; }
+
+  // Called once per abort before the transaction retries.
+  void pause() noexcept {
+    switch (policy_) {
+      case BackoffPolicy::kNone:
+        return;
+      case BackoffPolicy::kYield:
+        std::this_thread::yield();
+        return;
+      case BackoffPolicy::kExponential: {
+        const std::uint64_t limit = 1ULL << exponent_;
+        const std::uint64_t spins = rng_.below(limit) + 1;
+        for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+        if (exponent_ < kMaxExponent) ++exponent_;
+        // Oversubscribed hosts make pure spinning pathological; give the
+        // scheduler a chance once the window is large.
+        if (exponent_ > 16) std::this_thread::yield();
+        return;
+      }
+    }
+  }
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+ private:
+  static constexpr int kMinExponent = 4;
+  static constexpr int kMaxExponent = 20;
+
+  BackoffPolicy policy_;
+  Xoshiro256 rng_;
+  int exponent_ = kMinExponent;
+};
+
+}  // namespace votm

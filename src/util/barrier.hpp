@@ -1,0 +1,38 @@
+// Sense-reversing thread barrier for benchmark start lines.
+//
+// std::barrier exists in C++20 but spins; benchmark threads here may be
+// heavily oversubscribed (the paper runs N = 16 threads and this host may
+// have a single core), so the barrier must block, not spin.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace votm {
+
+class StartBarrier {
+ public:
+  explicit StartBarrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::size_t my_generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [&] { return generation_ != my_generation; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace votm

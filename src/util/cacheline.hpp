@@ -1,0 +1,32 @@
+// Cache-line geometry helpers.
+//
+// Hot shared metadata (sequence locks, admission counters, per-view clocks)
+// must not share cache lines, otherwise the "independent metadata per view"
+// property the paper relies on (Section III-D) is silently destroyed by
+// false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace votm {
+
+// Pinned to 64 (x86-64 / most AArch64): std::hardware_destructive_
+// interference_size is an ABI hazard behind -Winterference-size, and the
+// padded types below are part of this library's layout contract.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Wraps a value in its own cache line. Used for per-view clocks and the
+// per-view admission counters so that two views never contend on the same
+// line.
+template <typename T>
+struct alignas(kCacheLine) CacheLinePadded {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace votm

@@ -1,0 +1,86 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supports "--name value", "--name=value" and bare boolean "--name".
+// Unknown flags abort with a usage dump so that table-reproduction scripts
+// fail loudly rather than silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace votm {
+
+class CliFlags {
+ public:
+  CliFlags(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+  // Registration returns *this for chaining.
+  CliFlags& flag(const std::string& name, const std::string& default_value,
+                 const std::string& help) {
+    values_[name] = default_value;
+    help_[name] = help;
+    order_.push_back(name);
+    return *this;
+  }
+
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        std::exit(0);
+      }
+      if (arg.rfind("--", 0) != 0) die(argv[0], "unexpected argument: " + arg);
+      arg = arg.substr(2);
+      std::string value;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "1";  // bare boolean flag
+      }
+      auto it = values_.find(arg);
+      if (it == values_.end()) die(argv[0], "unknown flag: --" + arg);
+      it->second = value;
+    }
+  }
+
+  std::string str(const std::string& name) const { return values_.at(name); }
+  std::int64_t i64(const std::string& name) const {
+    return std::stoll(values_.at(name));
+  }
+  double f64(const std::string& name) const { return std::stod(values_.at(name)); }
+  bool boolean(const std::string& name) const {
+    const std::string& v = values_.at(name);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+  }
+
+ private:
+  void usage(const char* prog) const {
+    std::cerr << summary_ << "\n\nusage: " << prog << " [flags]\n";
+    for (const auto& name : order_) {
+      std::cerr << "  --" << name << " (default: " << values_.at(name) << ")\n"
+                << "      " << help_.at(name) << "\n";
+    }
+  }
+
+  [[noreturn]] void die(const char* prog, const std::string& msg) const {
+    std::cerr << "error: " << msg << "\n";
+    usage(prog);
+    std::exit(2);
+  }
+
+  std::string summary_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> help_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace votm

@@ -1,0 +1,65 @@
+// CPU-cycle measurement, the paper's delta(Q) estimator input (Eq. 5).
+//
+// The paper uses rdtsc() to measure "CPU cycles spent in aborted
+// transactions and successful transactions". We use __rdtsc on x86-64 and
+// fall back to a steady_clock nanosecond count elsewhere; delta(Q) is a
+// ratio, so any monotonic per-thread time source with uniform units works.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#define VOTM_HAS_RDTSC 1
+#endif
+
+namespace votm {
+
+inline std::uint64_t rdcycles() noexcept {
+#ifdef VOTM_HAS_RDTSC
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// Cycle-counter frequency, measured once against steady_clock (~50 ms).
+// Used to convert measured cycle totals into the "modelled parallel
+// runtime" rows: total transactional work / (Q * Hz), i.e. makespan Eq. 2
+// evaluated with measured quantities — the quantity that shows the paper's
+// parallel shape even when the host serialises all threads on one core.
+inline double cycles_per_second() {
+  static const double hz = [] {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const std::uint64_t c0 = rdcycles();
+    while (clock::now() - t0 < std::chrono::milliseconds(50)) {
+    }
+    const auto t1 = clock::now();
+    const std::uint64_t c1 = rdcycles();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(c1 - c0) / secs;
+  }();
+  return hz;
+}
+
+// Wall-clock stopwatch used for the Runtime(s) rows in the reproduction
+// tables.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace votm

@@ -1,0 +1,70 @@
+// Human-scale number formatting matching the paper's table style
+// (e.g. "7.01m" aborts, "49.8T" cycles, "3.2m" transactions).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace votm {
+
+// Formats n with the paper's suffixes: k (1e3), m (1e6), G (1e9), T (1e12).
+// Values below 1000 print as plain integers.
+inline std::string human_count(double n) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr Scale kScales[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "m"}, {1e3, "k"}};
+
+  if (std::isnan(n)) return "N/A";
+  const bool negative = n < 0;
+  const double mag = std::fabs(n);
+  char buf[32];
+  for (const auto& s : kScales) {
+    if (mag >= s.factor) {
+      const double scaled = mag / s.factor;
+      if (scaled >= 100) {
+        std::snprintf(buf, sizeof buf, "%s%.0f%s", negative ? "-" : "", scaled,
+                      s.suffix);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s%.*f%s", negative ? "-" : "",
+                      scaled >= 10 ? 1 : 2, scaled, s.suffix);
+      }
+      return buf;
+    }
+  }
+  if (mag == std::floor(mag)) {
+    std::snprintf(buf, sizeof buf, "%.0f", n);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g", n);
+  }
+  return buf;
+}
+
+inline std::string human_count(std::uint64_t n) {
+  return human_count(static_cast<double>(n));
+}
+
+// Seconds with the paper's precision (three significant digits).
+inline std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", s);
+  return buf;
+}
+
+// delta(Q) per the paper: "N/A" at Q = 1 (Eq. 5 divides by Q - 1).
+inline std::string format_delta(double d) {
+  if (std::isnan(d)) return "N/A";
+  char buf[32];
+  if (d != 0 && d < 0.01) {
+    std::snprintf(buf, sizeof buf, "%.1g", d);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", d);
+  }
+  return buf;
+}
+
+}  // namespace votm

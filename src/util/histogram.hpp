@@ -1,0 +1,79 @@
+// Lock-free log2-bucketed histogram for transaction latencies.
+//
+// Buckets are powers of two (bucket i counts samples in [2^i, 2^(i+1))),
+// which is the right resolution for latency distributions spanning
+// nanoseconds (uncontended commits) to milliseconds (transactions that
+// straddled a descheduling). Increments are relaxed atomics: the histogram
+// is statistical, ordering is irrelevant, and the hot path must stay cheap.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace votm {
+
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t value) noexcept {
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value) - 1);
+  }
+
+  // Lower bound of bucket i.
+  static std::uint64_t bucket_floor(std::size_t i) noexcept {
+    return i == 0 ? 0 : (std::uint64_t{1} << i);
+  }
+
+  std::uint64_t count(std::size_t bucket) const noexcept {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& b : buckets_) sum += b.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  // Approximate quantile: returns the floor of the bucket containing the
+  // q-th sample (q in [0, 1]).
+  std::uint64_t quantile(double q) const noexcept {
+    const std::uint64_t n = total();
+    if (n == 0) return 0;
+    auto target = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += count(i);
+      if (seen > target) return bucket_floor(i);
+    }
+    return bucket_floor(kBuckets - 1);
+  }
+
+  // Compact rendering "floor:count" for buckets with data.
+  std::string summary() const {
+    std::string out;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = count(i);
+      if (c == 0) continue;
+      if (!out.empty()) out += ' ';
+      out += std::to_string(bucket_floor(i)) + ':' + std::to_string(c);
+    }
+    return out.empty() ? "(empty)" : out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace votm

@@ -1,0 +1,32 @@
+// Cooperative stop flag with a watchdog helper.
+//
+// Livelock is a real outcome in this reproduction (the paper's Tables III
+// and V report it for OrecEagerRedo at high quotas); a livelocked
+// transaction retries forever inside the view's retry loop, so benchmarks
+// need a stop signal that can interrupt a *transaction body*, not just the
+// iteration loop. Bodies call throw_if_stopped(); the throw unwinds through
+// the retry loop (user-exception path: rollback + leave) to the worker.
+#pragma once
+
+#include <atomic>
+
+namespace votm {
+
+struct StopRequested {};
+
+class StopToken {
+ public:
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  void throw_if_stopped() const {
+    if (stop_requested()) throw StopRequested{};
+  }
+  void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace votm

@@ -1,0 +1,63 @@
+// Column-aligned plain-text table printer for the reproduction benches.
+//
+// Each bench binary regenerates one of the paper's Tables III-X; rows are
+// assembled as strings and printed with a right-aligned layout similar to
+// the paper's typesetting, plus an optional "paper:" reference row so the
+// measured-vs-published comparison is visible in raw bench output.
+#pragma once
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace votm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& cells) {
+      if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    os << "== " << title_ << " ==\n";
+    print_row(os, header_, widths);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) print_row(os, r, widths);
+    os << '\n';
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::size_t pad = widths[i] - cells[i].size();
+      // First column (row label) left-aligned; data columns right-aligned.
+      if (i == 0) {
+        os << cells[i] << std::string(pad, ' ') << "  ";
+      } else {
+        os << std::string(pad, ' ') << cells[i] << "  ";
+      }
+    }
+    os << '\n';
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace votm

@@ -1,0 +1,184 @@
+// Relational tables for the Vacation workload (a STAMP-vacation-style
+// travel reservation system), built on the transactional containers.
+//
+// ResourceTable: id -> {total, free, price} records for one resource kind
+// (cars, flights, or rooms). CustomerTable: customer id -> linked list of
+// reservations. Each table lives entirely inside ONE view, so every method
+// is a single-view transaction body — the precondition for putting the
+// tables into separate views (paper Observation 2).
+#pragma once
+
+#include "containers/tx_hash_map.hpp"
+#include "core/view.hpp"
+
+namespace votm::vacation {
+
+using Word = stm::Word;
+
+// Reservation tag: resource kind packed with the resource id.
+enum class Kind : Word { kCar = 1, kFlight = 2, kRoom = 3 };
+
+constexpr Word pack_reservation(Kind kind, Word id) {
+  return (static_cast<Word>(kind) << 56) | id;
+}
+constexpr Kind reservation_kind(Word packed) {
+  return static_cast<Kind>(packed >> 56);
+}
+constexpr Word reservation_id(Word packed) {
+  return packed & ((Word{1} << 56) - 1);
+}
+
+class ResourceTable {
+ public:
+  ResourceTable(core::View& view, std::size_t expected_rows)
+      : view_(&view), map_(view, expected_rows * 2) {}
+
+  // tx: creates or grows a resource row.
+  void add(Word id, Word count, Word price) {
+    Word packed = 0;
+    if (map_.get(id, &packed)) {
+      Word* rec = reinterpret_cast<Word*>(packed);
+      core::vadd<Word>(&rec[0], count);  // total
+      core::vadd<Word>(&rec[1], count);  // free
+      core::vwrite<Word>(&rec[2], price);
+    } else {
+      Word* rec = static_cast<Word*>(view_->alloc(3 * sizeof(Word)));
+      core::vwrite<Word>(&rec[0], count);
+      core::vwrite<Word>(&rec[1], count);
+      core::vwrite<Word>(&rec[2], price);
+      map_.put(id, reinterpret_cast<Word>(rec));
+    }
+  }
+
+  // tx: removes up to `count` units of spare capacity; returns the number
+  // actually retired (never touches reserved units).
+  Word retire(Word id, Word count) {
+    Word packed = 0;
+    if (!map_.get(id, &packed)) return 0;
+    Word* rec = reinterpret_cast<Word*>(packed);
+    const Word free = core::vread(&rec[1]);
+    const Word retired = std::min(free, count);
+    core::vwrite<Word>(&rec[0], core::vread(&rec[0]) - retired);
+    core::vwrite<Word>(&rec[1], free - retired);
+    return retired;
+  }
+
+  // tx: reserves one unit; returns the price via *price_out, or false when
+  // the row is missing or sold out.
+  bool reserve(Word id, Word* price_out) {
+    Word packed = 0;
+    if (!map_.get(id, &packed)) return false;
+    Word* rec = reinterpret_cast<Word*>(packed);
+    const Word free = core::vread(&rec[1]);
+    if (free == 0) return false;
+    core::vwrite<Word>(&rec[1], free - 1);
+    if (price_out != nullptr) *price_out = core::vread(&rec[2]);
+    return true;
+  }
+
+  // tx: returns one reserved unit.
+  void release(Word id) {
+    Word packed = 0;
+    if (!map_.get(id, &packed)) return;  // retired row: unit evaporates
+    Word* rec = reinterpret_cast<Word*>(packed);
+    core::vadd<Word>(&rec[1], 1);
+  }
+
+  // tx: reads {total, free, price}; false when absent.
+  bool query(Word id, Word* total, Word* free, Word* price) const {
+    Word packed = 0;
+    if (!map_.get(id, &packed)) return false;
+    const Word* rec = reinterpret_cast<const Word*>(packed);
+    if (total != nullptr) *total = core::vread(&rec[0]);
+    if (free != nullptr) *free = core::vread(&rec[1]);
+    if (price != nullptr) *price = core::vread(&rec[2]);
+    return true;
+  }
+
+  // tx: sums (total - free) over all rows — outstanding reservations.
+  Word outstanding() const {
+    Word sum = 0;
+    map_.for_each([&sum](Word, Word packed) {
+      const Word* rec = reinterpret_cast<const Word*>(packed);
+      sum += core::vread(&rec[0]) - core::vread(&rec[1]);
+    });
+    return sum;
+  }
+
+ private:
+  core::View* view_;
+  containers::TxHashMap map_;
+};
+
+class CustomerTable {
+ public:
+  // Reservation list node layout (words): [0] packed reservation, [1] next.
+  CustomerTable(core::View& view, std::size_t expected_customers)
+      : view_(&view), map_(view, expected_customers * 2) {}
+
+  // tx: ensures the customer exists.
+  void add_customer(Word customer_id) {
+    if (!map_.contains(customer_id)) {
+      map_.put(customer_id, 0);  // empty reservation list
+    }
+  }
+
+  // tx: records a reservation for the customer (customer must exist).
+  void add_reservation(Word customer_id, Kind kind, Word resource_id) {
+    Word head = 0;
+    map_.get(customer_id, &head);
+    Word* node = static_cast<Word*>(view_->alloc(2 * sizeof(Word)));
+    core::vwrite<Word>(&node[0], pack_reservation(kind, resource_id));
+    core::vwrite<Word>(&node[1], head);
+    map_.put(customer_id, reinterpret_cast<Word>(node));
+  }
+
+  // tx: removes the customer, exporting their reservations into `out`
+  // (caller releases the resources in the resource views afterwards).
+  // Returns false if the customer does not exist.
+  bool remove_customer(Word customer_id, std::vector<Word>* out) {
+    Word head = 0;
+    if (!map_.get(customer_id, &head)) return false;
+    while (head != 0) {
+      Word* node = reinterpret_cast<Word*>(head);
+      out->push_back(core::vread(&node[0]));
+      head = core::vread(&node[1]);
+      view_->free(node);
+    }
+    map_.erase(customer_id);
+    return true;
+  }
+
+  // tx: number of reservations held by the customer.
+  std::size_t reservation_count(Word customer_id) const {
+    Word head = 0;
+    if (!map_.get(customer_id, &head)) return 0;
+    std::size_t n = 0;
+    while (head != 0) {
+      ++n;
+      head = core::vread(&reinterpret_cast<Word*>(head)[1]);
+    }
+    return n;
+  }
+
+  // tx: total reservations of a given kind across all customers.
+  Word outstanding_of(Kind kind) const {
+    Word sum = 0;
+    map_.for_each([&sum, kind](Word, Word head) {
+      while (head != 0) {
+        Word* node = reinterpret_cast<Word*>(head);
+        if (reservation_kind(core::vread(&node[0])) == kind) ++sum;
+        head = core::vread(&node[1]);
+      }
+    });
+    return sum;
+  }
+
+  bool contains(Word customer_id) const { return map_.contains(customer_id); }
+
+ private:
+  core::View* view_;
+  containers::TxHashMap map_;
+};
+
+}  // namespace votm::vacation

@@ -1,0 +1,258 @@
+#include "vacation/vacation.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "core/access.hpp"
+#include "core/yield.hpp"
+#include "rac/delta.hpp"
+#include "util/cycles.hpp"
+#include "util/rng.hpp"
+
+namespace votm::vacation {
+
+namespace {
+constexpr std::size_t kResourceViews = 3;  // cars, flights, rooms
+}
+
+VacationWorld::VacationWorld(VacationConfig config) : config_(std::move(config)) {
+  if (config_.relations == 0 || config_.customers == 0) {
+    throw std::invalid_argument("vacation needs relations and customers");
+  }
+  if (config_.n_threads == 0 || config_.customers < config_.n_threads) {
+    throw std::invalid_argument("need at least one customer per thread");
+  }
+  build();
+}
+
+VacationWorld::~VacationWorld() = default;
+
+void VacationWorld::build() {
+  const std::size_t n_views =
+      config_.layout == Layout::kSingleView ? 1 : kResourceViews + 1;
+  if (config_.rac == core::RacMode::kFixed &&
+      config_.fixed_quotas.size() != n_views) {
+    throw std::invalid_argument("fixed_quotas must have one entry per view");
+  }
+
+  const std::uint64_t total_tasks =
+      config_.tasks_per_thread * config_.n_threads;
+  // Arena words: map nodes (3) + record (3) per resource row; customer map
+  // nodes + one 2-word reservation node per potential reservation.
+  const std::size_t resource_words = config_.relations * 8 + 1024;
+  const std::size_t customer_words =
+      config_.customers * 8 + total_tasks * 3 + 4096;
+
+  auto make_view = [&](std::size_t index, std::size_t words) {
+    core::ViewConfig vc;
+    vc.algo = config_.algo;
+    vc.max_threads = config_.n_threads;
+    vc.rac = config_.rac;
+    if (config_.rac == core::RacMode::kFixed) {
+      vc.fixed_quota = config_.fixed_quotas[index];
+    }
+    vc.adapt_interval = config_.adapt_interval;
+    vc.policy = config_.policy;
+    vc.backoff = config_.backoff;
+    vc.initial_bytes = words * sizeof(Word) * 2 + (1u << 15);
+    views_.push_back(std::make_unique<core::View>(vc));
+  };
+
+  if (config_.layout == Layout::kSingleView) {
+    make_view(0, kResourceViews * resource_words + customer_words);
+  } else {
+    for (std::size_t v = 0; v < kResourceViews; ++v) make_view(v, resource_words);
+    make_view(kResourceViews, customer_words);
+  }
+
+  cars_ = std::make_unique<ResourceTable>(view_of(Kind::kCar), config_.relations);
+  flights_ =
+      std::make_unique<ResourceTable>(view_of(Kind::kFlight), config_.relations);
+  rooms_ =
+      std::make_unique<ResourceTable>(view_of(Kind::kRoom), config_.relations);
+  customers_ =
+      std::make_unique<CustomerTable>(customer_view(), config_.customers);
+
+  // Seed the database (quiescent: direct transactions, one per table).
+  Xoshiro256 rng(config_.seed * 7919 + 3);
+  for (Kind kind : {Kind::kCar, Kind::kFlight, Kind::kRoom}) {
+    ResourceTable& table = table_of(kind);
+    view_of(kind).execute([&] {
+      for (Word id = 1; id <= config_.relations; ++id) {
+        table.add(id, 1 + rng.below(5), 50 + rng.below(450));
+      }
+    });
+  }
+  customer_view().execute([&] {
+    for (Word c = 1; c <= config_.customers; ++c) customers_->add_customer(c);
+  });
+}
+
+core::View& VacationWorld::view_of(Kind kind) {
+  if (config_.layout == Layout::kSingleView) return *views_[0];
+  switch (kind) {
+    case Kind::kCar:
+      return *views_[0];
+    case Kind::kFlight:
+      return *views_[1];
+    case Kind::kRoom:
+      return *views_[2];
+  }
+  return *views_[0];
+}
+
+core::View& VacationWorld::customer_view() {
+  return *views_.back();
+}
+
+ResourceTable& VacationWorld::table_of(Kind kind) {
+  switch (kind) {
+    case Kind::kCar:
+      return *cars_;
+    case Kind::kFlight:
+      return *flights_;
+    case Kind::kRoom:
+      return *rooms_;
+  }
+  return *cars_;
+}
+
+void VacationWorld::worker(unsigned tid) {
+  Xoshiro256 rng(config_.seed * 1000003 + tid);
+  // Customers are partitioned per thread: reservation records and deletions
+  // for one customer come from one thread, so a deletion can never race a
+  // reservation record for the same customer (resource rows stay shared —
+  // that is where the contention lives).
+  const Word base = 1 + tid * (config_.customers / config_.n_threads);
+  const Word span = config_.customers / config_.n_threads;
+
+  std::uint64_t made = 0, denied = 0, deleted = 0;
+  std::vector<Word> drained;
+
+  const auto pick_kind = [&]() {
+    return static_cast<Kind>(1 + rng.below(3));
+  };
+
+  for (std::uint64_t task = 0; task < config_.tasks_per_thread; ++task) {
+    const Word customer = base + rng.below(span);
+    const auto roll = rng.below(100);
+    if (roll < config_.user_percent) {
+      // ---- MakeReservation ------------------------------------------------
+      const Kind kind = pick_kind();
+      ResourceTable& table = table_of(kind);
+      Word chosen = 0;
+      bool reserved = false;
+      view_of(kind).execute([&] {
+        if (config_.yield_in_tx) core::yield_in_transaction();
+        // Scan q candidates for the cheapest available unit, then reserve
+        // it — query and reserve in one transaction, one view.
+        chosen = 0;
+        reserved = false;
+        Word best_price = ~Word{0};
+        for (unsigned q = 0; q < config_.queries_per_task; ++q) {
+          const Word id = 1 + rng.below(config_.relations);
+          Word free = 0, price = 0;
+          if (table.query(id, nullptr, &free, &price) && free > 0 &&
+              price < best_price) {
+            best_price = price;
+            chosen = id;
+          }
+        }
+        if (chosen != 0) {
+          reserved = table.reserve(chosen, nullptr);
+        }
+      });
+      if (reserved) {
+        customer_view().execute([&] {
+          if (config_.yield_in_tx) core::yield_in_transaction();
+          customers_->add_reservation(customer, kind, chosen);
+        });
+        ++made;
+      } else {
+        ++denied;
+      }
+    } else if (roll < config_.user_percent + (100 - config_.user_percent) / 2) {
+      // ---- DeleteCustomer (then re-register: customer churn) --------------
+      drained.clear();
+      customer_view().execute([&] {
+        if (config_.yield_in_tx) core::yield_in_transaction();
+        drained.clear();  // body may re-execute after an abort
+        customers_->remove_customer(customer, &drained);
+        customers_->add_customer(customer);
+      });
+      for (Word packed : drained) {
+        const Kind kind = reservation_kind(packed);
+        view_of(kind).execute(
+            [&] { table_of(kind).release(reservation_id(packed)); });
+      }
+      ++deleted;
+    } else {
+      // ---- UpdateTables ----------------------------------------------------
+      const Kind kind = pick_kind();
+      const Word id = 1 + rng.below(config_.relations);
+      ResourceTable& table = table_of(kind);
+      const bool grow = rng.chance(1, 2);
+      const Word count = 1 + rng.below(3);
+      const Word price = 50 + rng.below(450);
+      view_of(kind).execute([&] {
+        if (config_.yield_in_tx) core::yield_in_transaction();
+        if (grow) {
+          table.add(id, count, price);
+        } else {
+          table.retire(id, count);
+        }
+      });
+    }
+  }
+
+  made_.fetch_add(made, std::memory_order_relaxed);
+  denied_.fetch_add(denied, std::memory_order_relaxed);
+  deleted_.fetch_add(deleted, std::memory_order_relaxed);
+}
+
+bool VacationWorld::check_invariants() {
+  // Quiescent check: per resource kind, outstanding units (total - free)
+  // must equal the reservations recorded across all customers.
+  for (Kind kind : {Kind::kCar, Kind::kFlight, Kind::kRoom}) {
+    Word resource_side = 0;
+    view_of(kind).execute_read(
+        [&] { resource_side = table_of(kind).outstanding(); });
+    Word customer_side = 0;
+    customer_view().execute_read(
+        [&] { customer_side = customers_->outstanding_of(kind); });
+    if (resource_side != customer_side) return false;
+  }
+  return true;
+}
+
+VacationReport VacationWorld::run() {
+  made_.store(0);
+  denied_.store(0);
+  deleted_.store(0);
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(config_.n_threads);
+  for (unsigned t = 0; t < config_.n_threads; ++t) {
+    threads.emplace_back([this, t] { worker(t); });
+  }
+  for (auto& th : threads) th.join();
+
+  VacationReport report;
+  report.runtime_seconds = timer.seconds();
+  report.reservations_made = made_.load();
+  report.reservations_denied = denied_.load();
+  report.customers_deleted = deleted_.load();
+  report.invariants_hold = check_invariants();
+  for (const auto& v : views_) {
+    VacationViewReport vr;
+    vr.stats = v->stats();
+    vr.final_quota = v->quota();
+    vr.delta = rac::delta_q(vr.stats, vr.final_quota);
+    report.total += vr.stats;
+    report.views.push_back(vr);
+  }
+  return report;
+}
+
+}  // namespace votm::vacation

@@ -1,0 +1,99 @@
+// The Vacation workload driver: a travel-reservation service in the STAMP
+// vacation mould, restructured for VOTM's view discipline.
+//
+// Four tables: cars, flights, rooms (ResourceTable each) and customers
+// (CustomerTable). Because VOTM forbids touching two views in one
+// transaction, every client task decomposes into single-view transactions:
+//
+//   MakeReservation: query + reserve in ONE resource view, then record in
+//                    the customer view;
+//   DeleteCustomer:  drain the reservation list in the customer view, then
+//                    release each unit in its resource view;
+//   UpdateTables:    add or retire capacity in one resource view.
+//
+// Layouts: kMultiView gives each table its own view (4 views, 4 private TM
+// instances, 4 independent RAC controllers); kSingleView puts all tables
+// into one.
+//
+// Not a paper table: this is the repository's extension workload (paper
+// Sec. V future work: "compare VOTM ... [on] different applications"),
+// exercised by bench/ext_vacation.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/view.hpp"
+#include "util/stop_token.hpp"
+#include "vacation/tables.hpp"
+
+namespace votm::vacation {
+
+enum class Layout { kSingleView, kMultiView };
+
+struct VacationConfig {
+  std::size_t relations = 512;     // rows per resource table  (STAMP -n)
+  std::size_t customers = 256;     // customer count           (STAMP -c-ish)
+  std::uint64_t tasks_per_thread = 2000;
+  unsigned queries_per_task = 4;   // resources examined per reservation (-q)
+  unsigned user_percent = 80;      // % MakeReservation; rest split between
+                                   // DeleteCustomer and UpdateTables (-u)
+  Layout layout = Layout::kMultiView;
+  unsigned n_threads = 8;
+
+  stm::Algo algo = stm::Algo::kNOrec;
+  core::RacMode rac = core::RacMode::kAdaptive;
+  std::vector<unsigned> fixed_quotas;  // one per view when rac == kFixed
+  std::uint64_t adapt_interval = 2048;
+  rac::PolicyConfig policy{};
+  BackoffPolicy backoff = BackoffPolicy::kNone;
+  std::uint64_t seed = 1;
+  bool yield_in_tx = false;  // transaction-overlap knob (single-core hosts)
+};
+
+struct VacationViewReport {
+  stm::StatsSnapshot stats;
+  unsigned final_quota = 0;
+  double delta = 0.0;
+};
+
+struct VacationReport {
+  double runtime_seconds = 0.0;
+  std::uint64_t reservations_made = 0;
+  std::uint64_t reservations_denied = 0;  // sold out / retired rows
+  std::uint64_t customers_deleted = 0;
+  bool invariants_hold = false;
+  std::vector<VacationViewReport> views;
+  stm::StatsSnapshot total;
+};
+
+class VacationWorld {
+ public:
+  explicit VacationWorld(VacationConfig config);
+  ~VacationWorld();
+
+  VacationWorld(const VacationWorld&) = delete;
+  VacationWorld& operator=(const VacationWorld&) = delete;
+
+  VacationReport run();
+
+  // Checks total == free + outstanding per resource kind, transactionally.
+  bool check_invariants();
+
+ private:
+  void build();
+  void worker(unsigned tid);
+  ResourceTable& table_of(Kind kind);
+  core::View& view_of(Kind kind);
+  core::View& customer_view();
+
+  VacationConfig config_;
+  std::vector<std::unique_ptr<core::View>> views_;
+  std::unique_ptr<ResourceTable> cars_, flights_, rooms_;
+  std::unique_ptr<CustomerTable> customers_;
+  std::atomic<std::uint64_t> made_{0}, denied_{0}, deleted_{0};
+};
+
+}  // namespace votm::vacation

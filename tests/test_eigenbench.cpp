@@ -1,0 +1,245 @@
+// Tests of the Eigenbench workload: configuration validation, completion
+// and statistics across layouts/algorithms/RAC modes, contention ordering
+// between the paper's view-1 and view-2 parameter sets, and watchdog
+// behaviour.
+//
+// All runs here use heavily scaled-down loop counts; the table-scale runs
+// live in bench/.
+#include <gtest/gtest.h>
+
+#include "eigenbench/eigenbench.hpp"
+
+namespace votm::eigen {
+namespace {
+
+ObjectParams tiny(ObjectParams p, std::uint64_t loops) {
+  p.loops = loops;
+  return p;
+}
+
+// Scaled-down versions of the paper's Table II objects.
+ObjectParams hot_object(std::uint64_t loops = 60) {
+  ObjectParams p = paper_view1();
+  p.a1 = 64;  // keep the hot array small relative to access count
+  p.r1 = 20;
+  p.w1 = 8;
+  p.r2 = 4;
+  p.w2 = 4;
+  p.a2 = 1024;
+  p.a3 = 256;
+  return tiny(p, loops);
+}
+
+ObjectParams cold_object(std::uint64_t loops = 60) {
+  ObjectParams p = paper_view2();
+  p.a1 = 4096;
+  p.r1 = 4;
+  p.w1 = 2;
+  p.r2 = 4;
+  p.w2 = 4;
+  p.a2 = 1024;
+  p.a3 = 256;
+  p.r3i = 2;
+  p.w3i = 1;
+  p.nopi = 5;
+  return tiny(p, loops);
+}
+
+struct Case {
+  Layout layout;
+  stm::Algo algo;
+  core::RacMode rac;
+  const char* name;
+};
+
+class EigenRun : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EigenRun, CompletesAndCountsEveryTransaction) {
+  const Case& c = GetParam();
+  WorldConfig wc;
+  wc.layout = c.layout;
+  wc.objects = {hot_object(40), cold_object(40)};
+  wc.n_threads = 4;
+  wc.algo = c.algo;
+  wc.rac = c.rac;
+  wc.adapt_interval = 64;
+  if (c.rac == core::RacMode::kFixed) {
+    wc.fixed_quotas.assign(c.layout == Layout::kSingleView ? 1 : 2, 2);
+  }
+  EigenWorld world(wc);
+  const RunReport report = world.run();
+
+  EXPECT_FALSE(report.livelocked);
+  EXPECT_DOUBLE_EQ(report.completed_fraction, 1.0);
+  // Every scheduled transaction commits exactly once.
+  const std::uint64_t expected = 2ull * 40 * wc.n_threads;
+  EXPECT_EQ(report.total.commits, expected);
+  EXPECT_EQ(report.views.size(), c.layout == Layout::kSingleView ? 1u : 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EigenRun,
+    ::testing::Values(
+        Case{Layout::kSingleView, stm::Algo::kNOrec, core::RacMode::kAdaptive,
+             "single_norec_adaptive"},
+        Case{Layout::kMultiView, stm::Algo::kNOrec, core::RacMode::kAdaptive,
+             "multi_norec_adaptive"},
+        Case{Layout::kSingleView, stm::Algo::kOrecEagerRedo,
+             core::RacMode::kFixed, "single_oer_fixed2"},
+        Case{Layout::kMultiView, stm::Algo::kOrecEagerRedo,
+             core::RacMode::kFixed, "multi_oer_fixed2"},
+        Case{Layout::kMultiView, stm::Algo::kNOrec, core::RacMode::kDisabled,
+             "multiTM_norec"},
+        Case{Layout::kSingleView, stm::Algo::kNOrec, core::RacMode::kDisabled,
+             "plainTM_norec"},
+        Case{Layout::kMultiView, stm::Algo::kTml, core::RacMode::kAdaptive,
+             "multi_tml_adaptive"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(EigenParams, PaperTableTwoValuesAreEncodedExactly) {
+  // Table II of the paper, verbatim.
+  const ObjectParams v1 = paper_view1();
+  EXPECT_EQ(v1.a1, 256u);
+  EXPECT_EQ(v1.a2, 16384u);
+  EXPECT_EQ(v1.a3, 8192u);
+  EXPECT_EQ(v1.r1, 80u);
+  EXPECT_EQ(v1.w1, 20u);
+  EXPECT_EQ(v1.r2, 10u);
+  EXPECT_EQ(v1.w2, 10u);
+  EXPECT_EQ(v1.r3i, 0u);
+  EXPECT_EQ(v1.w3i, 0u);
+  EXPECT_EQ(v1.nopi, 0u);
+  EXPECT_EQ(v1.loops, 100000u);
+
+  const ObjectParams v2 = paper_view2();
+  EXPECT_EQ(v2.a1, 16384u);
+  EXPECT_EQ(v2.a2, 16384u);
+  EXPECT_EQ(v2.a3, 8192u);
+  EXPECT_EQ(v2.r1, 10u);
+  EXPECT_EQ(v2.w1, 10u);
+  EXPECT_EQ(v2.r2, 10u);
+  EXPECT_EQ(v2.w2, 10u);
+  EXPECT_EQ(v2.r3i, 5u);
+  EXPECT_EQ(v2.w3i, 1u);
+  EXPECT_EQ(v2.nopi, 20u);
+  EXPECT_EQ(v2.loops, 100000u);
+  // Outside-transaction work is zero in the paper's configuration.
+  EXPECT_EQ(v2.r3o, 0u);
+  EXPECT_EQ(v2.w3o, 0u);
+  EXPECT_EQ(v2.nopo, 0u);
+}
+
+TEST(EigenWorldTest, RejectsEmptyObjects) {
+  WorldConfig wc;
+  wc.objects = {};
+  EXPECT_THROW(EigenWorld{wc}, std::invalid_argument);
+}
+
+TEST(EigenWorldTest, RejectsMismatchedQuotaVector) {
+  WorldConfig wc;
+  wc.objects = {hot_object(1), cold_object(1)};
+  wc.layout = Layout::kMultiView;
+  wc.rac = core::RacMode::kFixed;
+  wc.fixed_quotas = {2};  // needs 2 entries
+  EXPECT_THROW(EigenWorld{wc}, std::invalid_argument);
+}
+
+TEST(EigenWorldTest, HotViewHasMoreContentionThanColdView) {
+  // Multi-view: per-view abort statistics must reflect the designed
+  // contention asymmetry (this is the premise of Observation 2).
+  WorldConfig wc;
+  wc.layout = Layout::kMultiView;
+  wc.objects = {hot_object(150), cold_object(150)};
+  wc.n_threads = 4;
+  wc.algo = stm::Algo::kNOrec;
+  wc.rac = core::RacMode::kDisabled;  // no admission: raw contention
+  wc.yield_every_n_accesses = 2;      // force transaction overlap
+  EigenWorld world(wc);
+  const RunReport report = world.run();
+  ASSERT_EQ(report.views.size(), 2u);
+  const auto& hot = report.views[0].stats;
+  const auto& cold = report.views[1].stats;
+  EXPECT_GT(hot.aborts, cold.aborts);
+}
+
+TEST(EigenWorldTest, SingleViewAggregatesBothObjects) {
+  WorldConfig wc;
+  wc.layout = Layout::kSingleView;
+  wc.objects = {hot_object(30), cold_object(30)};
+  wc.n_threads = 2;
+  wc.algo = stm::Algo::kNOrec;
+  wc.rac = core::RacMode::kAdaptive;
+  EigenWorld world(wc);
+  const RunReport report = world.run();
+  ASSERT_EQ(report.views.size(), 1u);
+  EXPECT_EQ(report.views[0].stats.commits, 2ull * 30 * 2);
+}
+
+TEST(EigenWorldTest, FixedQuotaOneNeverAborts) {
+  WorldConfig wc;
+  wc.layout = Layout::kSingleView;
+  wc.objects = {hot_object(60)};
+  wc.n_threads = 4;
+  wc.algo = stm::Algo::kOrecEagerRedo;
+  wc.rac = core::RacMode::kFixed;
+  wc.fixed_quotas = {1};
+  EigenWorld world(wc);
+  const RunReport report = world.run();
+  EXPECT_EQ(report.total.aborts, 0u);
+  EXPECT_EQ(report.total.commits, 60ull * 4);
+}
+
+TEST(EigenWorldTest, WatchdogStopsARunAndReportsPartialProgress) {
+  WorldConfig wc;
+  wc.layout = Layout::kSingleView;
+  wc.objects = {hot_object(200000)};  // far more work than the cap allows
+  wc.n_threads = 4;
+  wc.algo = stm::Algo::kNOrec;
+  wc.rac = core::RacMode::kDisabled;
+  wc.time_cap_seconds = 0.3;
+  EigenWorld world(wc);
+  const RunReport report = world.run();
+  EXPECT_TRUE(report.livelocked);  // flagged: cut off before completion
+  EXPECT_LT(report.completed_fraction, 1.0);
+  EXPECT_LT(report.runtime_seconds, 5.0);
+}
+
+TEST(EigenWorldTest, AdaptiveSingleViewLowersQuotaForHotWorkload) {
+  WorldConfig wc;
+  wc.layout = Layout::kSingleView;
+  wc.objects = {hot_object(100)};
+  wc.n_threads = 8;
+  wc.algo = stm::Algo::kOrecEagerRedo;
+  wc.rac = core::RacMode::kAdaptive;
+  wc.adapt_interval = 128;
+  wc.yield_every_n_accesses = 4;  // hold encounter-time locks across yields
+  EigenWorld world(wc);
+  const RunReport report = world.run();
+  EXPECT_FALSE(report.livelocked);
+  EXPECT_EQ(report.total.commits, 100ull * 8);
+  EXPECT_LT(report.views[0].final_quota, 8u);
+}
+
+TEST(EigenWorldTest, DeterministicScheduleAcrossRuns) {
+  // Same seed => same per-view commit counts (the schedule and the bodies
+  // are seed-derived; abort counts may differ, commits must not).
+  auto make = [] {
+    WorldConfig wc;
+    wc.layout = Layout::kMultiView;
+    wc.objects = {hot_object(25), cold_object(25)};
+    wc.n_threads = 3;
+    wc.algo = stm::Algo::kNOrec;
+    wc.rac = core::RacMode::kDisabled;
+    wc.seed = 77;
+    return wc;
+  };
+  EigenWorld w1(make()), w2(make());
+  const RunReport r1 = w1.run(), r2 = w2.run();
+  ASSERT_EQ(r1.views.size(), r2.views.size());
+  for (std::size_t i = 0; i < r1.views.size(); ++i) {
+    EXPECT_EQ(r1.views[i].stats.commits, r2.views[i].stats.commits);
+  }
+}
+
+}  // namespace
+}  // namespace votm::eigen

@@ -1,0 +1,254 @@
+// Tests of the analytic model (paper Sec. II-A): the makespan equations,
+// Observations 1 and 2, the multi-view decomposition identity, and
+// agreement between the discrete-event simulator and the closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/makespan.hpp"
+#include "model/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace votm::model {
+namespace {
+
+Workload uniform_workload(std::size_t n, double t, double c, double d) {
+  return Workload(n, Transaction{t, c, d});
+}
+
+// Random workload generator for property sweeps.
+Workload random_workload(std::uint64_t seed, std::size_t n, double contention) {
+  Xoshiro256 rng(seed);
+  Workload w;
+  w.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Transaction tx;
+    tx.t = 1.0 + rng.uniform01() * 9.0;
+    tx.c = contention * rng.uniform01() * 20.0;
+    tx.d = 0.5 + rng.uniform01() * 2.0;
+    w.push_back(tx);
+  }
+  return w;
+}
+
+TEST(Makespan, EquationOne) {
+  // 4 transactions, t=2, c=3, d=1 -> sum(cd + t) = 4*(3+2) = 20; N=4 -> 5.
+  const Workload w = uniform_workload(4, 2.0, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(makespan_tm(w, 4), 5.0);
+}
+
+TEST(Makespan, EquationTwoReducesToEquationOneAtFullQuota) {
+  const Workload w = random_workload(1, 50, 1.0);
+  for (unsigned n : {2u, 4u, 8u, 16u}) {
+    EXPECT_NEAR(makespan_rac(w, n, n), makespan_tm(w, n), 1e-12);
+  }
+}
+
+TEST(Makespan, QuotaOneRemovesAllAbortCost) {
+  const Workload w = uniform_workload(10, 2.0, 5.0, 3.0);
+  // Q=1: (0 * sum_cd + sum_t) / 1 = sum_t.
+  EXPECT_DOUBLE_EQ(makespan_rac(w, 16, 1), 20.0);
+}
+
+TEST(Makespan, DifferenceSignMatchesDeltaRule) {
+  // Paper: delta > 1 => Delta < 0 (RAC wins); delta <= 1 => Delta >= 0.
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const double contention = (seed % 5) * 0.5;  // 0 .. 2.0
+    const Workload w = random_workload(seed, 40, contention);
+    const unsigned n = 16;
+    const double delta = contention_delta(w, n);
+    for (unsigned q = 1; q < n; ++q) {
+      const double diff = makespan_difference(w, n, q);
+      if (delta > 1.0) {
+        EXPECT_LT(diff, 1e-9) << "seed " << seed << " q " << q;
+      } else {
+        EXPECT_GT(diff, -1e-9) << "seed " << seed << " q " << q;
+      }
+    }
+  }
+}
+
+TEST(Makespan, EquationThreeClosedForm) {
+  // Delta = 1/(N-1) (1/N - 1/Q) (sum cd - sum t (N-1))
+  const Workload w = random_workload(7, 30, 1.5);
+  const unsigned n = 16;
+  const Aggregates a = aggregate(w);
+  for (unsigned q = 1; q <= n; ++q) {
+    const double expected = 1.0 / (n - 1) * (1.0 / n - 1.0 / q) *
+                            (a.sum_cd - a.sum_t * (n - 1));
+    EXPECT_NEAR(makespan_difference(w, n, q), expected, 1e-9);
+  }
+}
+
+TEST(Makespan, OptimalQuotaIsOneUnderExtremeContention) {
+  const Workload w = uniform_workload(20, 1.0, 100.0, 5.0);
+  EXPECT_EQ(optimal_quota(w, 16), 1u);
+}
+
+TEST(Makespan, OptimalQuotaIsNWithoutContention) {
+  const Workload w = uniform_workload(20, 1.0, 0.0, 0.0);
+  EXPECT_EQ(optimal_quota(w, 16), 16u);
+}
+
+TEST(Makespan, OptimalQuotaMonotoneInContention) {
+  // As per-transaction abort cost rises, the optimal quota must not rise.
+  unsigned prev = 16;
+  for (double cd = 0.0; cd <= 40.0; cd += 2.0) {
+    const Workload w = uniform_workload(30, 1.0, cd, 1.0);
+    const unsigned q = optimal_quota(w, 16);
+    EXPECT_LE(q, prev) << "cd " << cd;
+    prev = q;
+  }
+  EXPECT_EQ(prev, 1u);
+}
+
+// ---- Observation 2: multi-view decomposition ------------------------------
+
+TEST(MultiViewModel, SingleViewMakespanDecomposes) {
+  // Eq. 7: makespan_RAC(S, Q) = makespan_RAC(S1, Q) + makespan_RAC(S2, Q).
+  const Workload w1 = random_workload(11, 25, 2.0);
+  const Workload w2 = random_workload(12, 25, 0.2);
+  Workload joint = w1;
+  joint.insert(joint.end(), w2.begin(), w2.end());
+  for (unsigned q = 1; q <= 16; ++q) {
+    EXPECT_NEAR(makespan_rac(joint, 16, q),
+                makespan_rac(w1, 16, q) + makespan_rac(w2, 16, q), 1e-9);
+  }
+}
+
+TEST(MultiViewModel, ObservationTwoHolds) {
+  // One high-contention object (delta1 > 1), one low (delta2 <= 1): putting
+  // them in separate views with per-view optimal quotas is never worse than
+  // any single-view quota, over randomized workloads.
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Workload hot = random_workload(seed * 2 + 1, 30, 2.5);
+    const Workload cold = random_workload(seed * 2 + 2, 30, 0.05);
+    Workload joint = hot;
+    joint.insert(joint.end(), cold.begin(), cold.end());
+
+    const unsigned n = 16;
+    const unsigned q1 = optimal_quota(hot, n);
+    const unsigned q2 = optimal_quota(cold, n);
+    const double multi =
+        makespan_multi_view({{hot, q1}, {cold, q2}}, n);
+    for (unsigned q = 1; q <= n; ++q) {
+      EXPECT_LE(multi, makespan_rac(joint, n, q) + 1e-9)
+          << "seed " << seed << " q " << q;
+    }
+  }
+}
+
+TEST(MultiViewModel, PaperInequalityPreconditions) {
+  // The proof needs Q1 <= Q <= Q2 with delta1 > 1 and delta2 <= 1; verify
+  // the two makespan monotonicity lemmas (Eqs. 8 and 9) directly.
+  const Workload hot = uniform_workload(20, 1.0, 60.0, 2.0);   // delta >> 1
+  const Workload cold = uniform_workload(20, 1.0, 0.5, 0.1);   // delta << 1
+  const unsigned n = 16;
+  EXPECT_GT(contention_delta(hot, n), 1.0);
+  EXPECT_LE(contention_delta(cold, n), 1.0);
+  for (unsigned q = 2; q <= n; ++q) {
+    // Eq. 8: lowering quota helps the hot view.
+    EXPECT_LE(makespan_rac(hot, n, q - 1), makespan_rac(hot, n, q) + 1e-9);
+    // Eq. 9: raising quota helps the cold view.
+    EXPECT_LE(makespan_rac(cold, n, q), makespan_rac(cold, n, q - 1) + 1e-9);
+  }
+}
+
+// ---- Simulator vs closed form ---------------------------------------------
+
+TEST(Simulator, ConvergesToClosedFormAtFullQuota) {
+  const Workload w = uniform_workload(40000, 1.0, 4.0, 0.5);
+  const SimResult r = simulate_tm(w, 16, 42);
+  EXPECT_NEAR(r.makespan, makespan_tm(w, 16), makespan_tm(w, 16) * 0.02);
+}
+
+TEST(Simulator, ConvergesToClosedFormAcrossQuotas) {
+  const Workload w = uniform_workload(40000, 1.0, 6.0, 1.0);
+  for (unsigned q : {1u, 2u, 4u, 8u, 16u}) {
+    SimConfig cfg;
+    cfg.n_threads = 16;
+    cfg.quota = q;
+    cfg.seed = 7;
+    const SimResult r = simulate_rac(w, cfg);
+    const double expected = makespan_rac(w, 16, q);
+    EXPECT_NEAR(r.makespan, expected, expected * 0.03) << "q " << q;
+  }
+}
+
+TEST(Simulator, QuotaOneHasNoAborts) {
+  const Workload w = uniform_workload(1000, 1.0, 10.0, 1.0);
+  SimConfig cfg;
+  cfg.quota = 1;
+  const SimResult r = simulate_rac(w, cfg);
+  EXPECT_EQ(r.total_aborts, 0u);
+  EXPECT_DOUBLE_EQ(r.aborted_time, 0.0);
+}
+
+TEST(Simulator, AbortCountScalesWithQuota) {
+  const Workload w = uniform_workload(20000, 1.0, 8.0, 1.0);
+  std::uint64_t prev = 0;
+  for (unsigned q : {2u, 4u, 8u, 16u}) {
+    SimConfig cfg;
+    cfg.quota = q;
+    cfg.seed = 3;
+    const SimResult r = simulate_rac(w, cfg);
+    EXPECT_GT(r.total_aborts, prev) << "q " << q;
+    prev = r.total_aborts;
+    // E[aborts] = n * c * (Q-1)/(N-1).
+    const double expected = 20000.0 * 8.0 * (q - 1) / 15.0;
+    EXPECT_NEAR(static_cast<double>(r.total_aborts), expected, expected * 0.05);
+  }
+}
+
+TEST(Simulator, DeltaEstimatorMatchesAnalyticDelta) {
+  // At full quota the simulated Eq. 5 estimate should approximate the
+  // analytic delta = sum(cd)/(sum(t)(N-1)).
+  const Workload w = uniform_workload(30000, 1.0, 6.0, 2.0);
+  const SimResult r = simulate_tm(w, 16, 5);
+  const double analytic = contention_delta(w, 16);
+  EXPECT_NEAR(simulated_delta(r, 16), analytic, analytic * 0.05);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const Workload w = uniform_workload(1000, 1.0, 5.0, 1.0);
+  SimConfig cfg;
+  cfg.quota = 8;
+  cfg.seed = 99;
+  const SimResult a = simulate_rac(w, cfg);
+  const SimResult b = simulate_rac(w, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_aborts, b.total_aborts);
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  const Workload w = uniform_workload(10, 1.0, 1.0, 1.0);
+  SimConfig cfg;
+  cfg.quota = 0;
+  EXPECT_THROW(simulate_rac(w, cfg), std::invalid_argument);
+  cfg.quota = 17;
+  EXPECT_THROW(simulate_rac(w, cfg), std::invalid_argument);
+}
+
+// ---- Parameterized sweep: simulator tracks Observation 1 ------------------
+
+class ObservationOne : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ObservationOne, AdjustingTowardDeltaReducesSimulatedMakespan) {
+  const unsigned q = GetParam();
+  const Workload w = uniform_workload(20000, 1.0, 10.0, 2.0);  // delta > 1
+  SimConfig cfg;
+  cfg.quota = q;
+  cfg.seed = q;
+  const SimResult at_q = simulate_rac(w, cfg);
+  if (q > 1) {
+    SimConfig lower = cfg;
+    lower.quota = q / 2;
+    EXPECT_LT(simulate_rac(w, lower).makespan, at_q.makespan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quotas, ObservationOne,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace votm::model

@@ -1,0 +1,133 @@
+// Tests of the thread-level multi-view simulator: degenerate agreement
+// with the single-view simulator, Eq. 11 bounding behaviour, work
+// conservation, and Observation 2 in interleaved execution.
+#include <gtest/gtest.h>
+
+#include "model/multiview_sim.hpp"
+#include "model/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace votm::model {
+namespace {
+
+Workload uniform_workload(std::size_t n, double t, double c, double d) {
+  return Workload(n, Transaction{t, c, d});
+}
+
+TEST(MultiViewSim, RejectsInvalidConfigs) {
+  const Workload w = uniform_workload(10, 1, 1, 1);
+  MultiViewSimConfig cfg;
+  cfg.quotas = {};
+  EXPECT_THROW(simulate_multi_view({w}, cfg), std::invalid_argument);
+  cfg.quotas = {0};
+  EXPECT_THROW(simulate_multi_view({w}, cfg), std::invalid_argument);
+  cfg.quotas = {17};
+  EXPECT_THROW(simulate_multi_view({w}, cfg), std::invalid_argument);
+  EXPECT_THROW(simulate_multi_view({}, MultiViewSimConfig{}),
+               std::invalid_argument);
+}
+
+TEST(MultiViewSim, SingleViewMatchesServerPoolSimulator) {
+  // With one view, the thread-level simulation must converge to the same
+  // makespan as the Q-server model (both are list scheduling on Q servers,
+  // modulo assignment order).
+  const Workload w = uniform_workload(20000, 1.0, 4.0, 0.8);
+  for (unsigned q : {2u, 4u, 16u}) {
+    MultiViewSimConfig cfg;
+    cfg.quotas = {q};
+    cfg.seed = q;
+    const MultiViewSimResult mv = simulate_multi_view({w}, cfg);
+    SimConfig sc;
+    sc.quota = q;
+    sc.seed = q;
+    const SimResult sr = simulate_rac(w, sc);
+    EXPECT_NEAR(mv.makespan, sr.makespan, sr.makespan * 0.05) << "q " << q;
+  }
+}
+
+TEST(MultiViewSim, WorkConservation) {
+  const Workload hot = uniform_workload(4000, 1.0, 10.0, 1.0);
+  const Workload cold = uniform_workload(4000, 2.0, 0.5, 0.5);
+  MultiViewSimConfig cfg;
+  cfg.quotas = {2, 16};
+  const MultiViewSimResult r = simulate_multi_view({hot, cold}, cfg);
+  // busy_time[v] = sum of all executed costs = aborted + committed time.
+  const double committed_hot = 4000 * 1.0;
+  const double committed_cold = 4000 * 2.0;
+  EXPECT_GE(r.busy_time[0], committed_hot);
+  EXPECT_GE(r.busy_time[1], committed_cold);
+  // Aborted time decomposes by per-view abort cost: hot d=1.0, cold d=0.5,
+  // and the total abort count ties the two together.
+  const double aborted_time =
+      (r.busy_time[0] - committed_hot) + (r.busy_time[1] - committed_cold);
+  EXPECT_LE(aborted_time, static_cast<double>(r.total_aborts) * 1.0 + 1e-6);
+  EXPECT_GE(aborted_time, static_cast<double>(r.total_aborts) * 0.5 - 1e-6);
+  // Makespan can never beat perfect parallelism over all work.
+  const double lower_bound =
+      (r.busy_time[0] + r.busy_time[1]) / 16.0;
+  EXPECT_GE(r.makespan, lower_bound * 0.999);
+}
+
+TEST(MultiViewSim, InterleavingBeatsTheAdditiveClosedForm) {
+  // Eq. 11 adds the per-view makespans, as if the views ran one after the
+  // other. Interleaved threads fill the hot view's admission stalls with
+  // cold-view work, so for the paper's hot+cold split the simulated
+  // makespan must not exceed the closed-form sum (and is usually below).
+  const Workload hot = uniform_workload(8000, 1.0, 20.0, 1.0);   // delta > 1
+  const Workload cold = uniform_workload(8000, 1.5, 0.3, 0.5);   // delta < 1
+  const unsigned n = 16;
+  for (unsigned q1 : {1u, 2u, 4u}) {
+    MultiViewSimConfig cfg;
+    cfg.quotas = {q1, n};
+    cfg.seed = 5 + q1;
+    const MultiViewSimResult sim = simulate_multi_view({hot, cold}, cfg);
+    const double closed_form =
+        makespan_multi_view({{hot, q1}, {cold, n}}, n);
+    EXPECT_LE(sim.makespan, closed_form * 1.05) << "q1 " << q1;
+  }
+}
+
+TEST(MultiViewSim, ObservationTwoInInterleavedExecution) {
+  // Restricting ONLY the hot view beats restricting both (single-view
+  // behaviour) and beats no restriction, in the thread-level model.
+  const Workload hot = uniform_workload(6000, 1.0, 30.0, 1.5);
+  const Workload cold = uniform_workload(6000, 1.5, 0.2, 0.5);
+  const unsigned n = 16;
+
+  auto run = [&](unsigned q1, unsigned q2) {
+    MultiViewSimConfig cfg;
+    cfg.quotas = {q1, q2};
+    cfg.seed = 99;
+    return simulate_multi_view({hot, cold}, cfg).makespan;
+  };
+
+  const double per_view_optimal = run(1, n);   // multi-view RAC
+  const double both_restricted = run(1, 1);    // single-view at Q = 1
+  const double unrestricted = run(n, n);       // conventional TM
+  EXPECT_LT(per_view_optimal, both_restricted);
+  EXPECT_LT(per_view_optimal, unrestricted);
+}
+
+TEST(MultiViewSim, BlockedTimeConcentratesOnTheRestrictedView) {
+  const Workload hot = uniform_workload(4000, 1.0, 10.0, 1.0);
+  const Workload cold = uniform_workload(4000, 1.0, 0.1, 0.5);
+  MultiViewSimConfig cfg;
+  cfg.quotas = {1, 16};
+  const MultiViewSimResult r = simulate_multi_view({hot, cold}, cfg);
+  EXPECT_GT(r.blocked_time[0], 0.0);           // hot view queues
+  EXPECT_DOUBLE_EQ(r.blocked_time[1], 0.0);    // cold view never blocks
+}
+
+TEST(MultiViewSim, DeterministicGivenSeed) {
+  const Workload w = uniform_workload(2000, 1.0, 5.0, 1.0);
+  MultiViewSimConfig cfg;
+  cfg.quotas = {4, 8};
+  cfg.seed = 7;
+  const auto a = simulate_multi_view({w, w}, cfg);
+  const auto b = simulate_multi_view({w, w}, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_aborts, b.total_aborts);
+}
+
+}  // namespace
+}  // namespace votm::model

@@ -1,0 +1,220 @@
+// Unit tests for src/util: RNG determinism and distribution sanity,
+// number formatting, running statistics, backoff, barrier.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/backoff.hpp"
+#include "util/barrier.hpp"
+#include "util/cycles.hpp"
+#include "util/format.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stop_token.hpp"
+
+namespace votm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Xoshiro256 rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(10, 100);
+  EXPECT_NEAR(hits, 10000, 600);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(SplitMix, ExpandsSeedsDistinctly) {
+  SplitMix64 sm(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Format, HumanCountMatchesPaperStyle) {
+  EXPECT_EQ(human_count(3'200'000.0), "3.20m");
+  EXPECT_EQ(human_count(7'010'000.0), "7.01m");
+  EXPECT_EQ(human_count(145'000'000'000.0), "145G");
+  EXPECT_EQ(human_count(49'800'000'000'000.0), "49.8T");
+  EXPECT_EQ(human_count(178.0), "178");
+  EXPECT_EQ(human_count(25'200.0), "25.2k");
+  EXPECT_EQ(human_count(0.0), "0");
+}
+
+TEST(Format, DeltaStyle) {
+  EXPECT_EQ(format_delta(std::nan("")), "N/A");
+  EXPECT_EQ(format_delta(0.49), "0.49");
+  EXPECT_EQ(format_delta(30.7), "30.70");
+  EXPECT_EQ(format_delta(0.003), "0.003");
+}
+
+TEST(Stats, WelfordMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+}
+
+TEST(Cycles, Monotonic) {
+  const auto a = rdcycles();
+  const auto b = rdcycles();
+  EXPECT_LE(a, b);
+}
+
+TEST(WallTimerTest, MeasuresElapsed) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+}
+
+TEST(BackoffTest, PoliciesDoNotHang) {
+  for (auto policy : {BackoffPolicy::kNone, BackoffPolicy::kYield,
+                      BackoffPolicy::kExponential}) {
+    Backoff b(policy);
+    for (int i = 0; i < 50; ++i) b.pause();
+    b.reset();
+    b.pause();
+  }
+}
+
+TEST(BarrierTest, ReleasesAllParties) {
+  constexpr unsigned kThreads = 8;
+  StartBarrier barrier(kThreads);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      after.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(before.load(), static_cast<int>(kThreads));
+  EXPECT_EQ(after.load(), static_cast<int>(kThreads));
+}
+
+TEST(BarrierTest, Reusable) {
+  StartBarrier barrier(2);
+  std::thread t([&] {
+    barrier.arrive_and_wait();
+    barrier.arrive_and_wait();
+  });
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  t.join();
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 10u);
+  EXPECT_EQ(Log2Histogram::bucket_floor(10), 1024u);
+}
+
+TEST(HistogramTest, RecordAndTotal) {
+  Log2Histogram h;
+  for (std::uint64_t v : {1ull, 2ull, 3ull, 1000ull, 1000000ull}) h.record(v);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 1u);  // value 1
+  EXPECT_EQ(h.count(1), 2u);  // values 2, 3
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(8);     // bucket floor 8
+  for (int i = 0; i < 10; ++i) h.record(4096);  // bucket floor 4096
+  EXPECT_EQ(h.quantile(0.5), 8u);
+  EXPECT_EQ(h.quantile(0.99), 4096u);
+  Log2Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Log2Histogram h;
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) h.record((t + 1) * 100);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(h.total(), kThreads * static_cast<std::uint64_t>(kPerThread));
+}
+
+TEST(HistogramTest, SummaryListsNonEmptyBuckets) {
+  Log2Histogram h;
+  EXPECT_EQ(h.summary(), "(empty)");
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.summary(), "4:2");
+}
+
+TEST(StopTokenTest, ThrowsWhenStopped) {
+  StopToken token;
+  EXPECT_NO_THROW(token.throw_if_stopped());
+  token.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_THROW(token.throw_if_stopped(), StopRequested);
+  token.reset();
+  EXPECT_FALSE(token.stop_requested());
+}
+
+}  // namespace
+}  // namespace votm

@@ -1,0 +1,310 @@
+// Integration tests of the View layer: execute() retry semantics, typed
+// accessors, lock mode (Q = 1), RAC quota behaviour under contention,
+// adaptive quota movement, transactional memory management, multi-view
+// independence, and user-exception handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace votm::core {
+namespace {
+
+ViewConfig basic_config(stm::Algo algo, unsigned threads = 8) {
+  ViewConfig vc;
+  vc.algo = algo;
+  vc.max_threads = threads;
+  vc.rac = RacMode::kAdaptive;
+  vc.initial_bytes = 1 << 20;
+  return vc;
+}
+
+class ViewTest : public ::testing::TestWithParam<stm::Algo> {};
+
+TEST_P(ViewTest, ExecutePublishesOnCommit) {
+  View view(basic_config(GetParam()));
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 42); });
+  stm::Word seen = 0;
+  view.execute_read([&] { seen = vread(cell); });
+  EXPECT_EQ(seen, 42u);
+  EXPECT_EQ(view.stats().commits, 2u);
+}
+
+TEST_P(ViewTest, ConcurrentIncrementsAreExact) {
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 1500;
+  View view(basic_config(GetParam(), kThreads));
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 0); });
+
+  StartBarrier barrier(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kPerThread; ++i) {
+        view.execute([&] { vadd<stm::Word>(cell, 1); });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  stm::Word final_value = 0;
+  view.execute_read([&] { final_value = vread(cell); });
+  EXPECT_EQ(final_value, kThreads * static_cast<stm::Word>(kPerThread));
+  EXPECT_GE(view.stats().commits, kThreads * static_cast<std::uint64_t>(kPerThread));
+}
+
+TEST_P(ViewTest, UserExceptionRollsBackAndPropagates) {
+  if (GetParam() == stm::Algo::kTml || GetParam() == stm::Algo::kCgl) {
+    GTEST_SKIP() << "in-place engines cannot undo published writes";
+  }
+  View view(basic_config(GetParam()));
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 7); });
+  struct Boom {};
+  EXPECT_THROW(view.execute([&] {
+    vwrite<stm::Word>(cell, 99);
+    throw Boom{};
+  }),
+               Boom);
+  stm::Word seen = 0;
+  view.execute_read([&] { seen = vread(cell); });
+  EXPECT_EQ(seen, 7u);
+  // The view must be reusable after the exception (admission released).
+  view.execute([&] { vwrite<stm::Word>(cell, 8); });
+}
+
+TEST_P(ViewTest, SubWordAccessors) {
+  View view(basic_config(GetParam()));
+  auto* bytes = static_cast<std::uint8_t*>(view.alloc(64));
+  view.execute([&] {
+    for (int i = 0; i < 16; ++i) {
+      vwrite<std::uint8_t>(&bytes[i], static_cast<std::uint8_t>(i * 3));
+    }
+    vwrite<std::uint32_t>(reinterpret_cast<std::uint32_t*>(bytes + 32), 0xdeadbeef);
+  });
+  view.execute_read([&] {
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(vread(&bytes[i]), static_cast<std::uint8_t>(i * 3));
+    }
+    EXPECT_EQ(vread(reinterpret_cast<std::uint32_t*>(bytes + 32)), 0xdeadbeefu);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ViewTest,
+                         ::testing::Values(stm::Algo::kNOrec,
+                                           stm::Algo::kOrecEagerRedo,
+                                           stm::Algo::kOrecLazy,
+                                           stm::Algo::kOrecEagerUndo,
+                                           stm::Algo::kTml, stm::Algo::kCgl),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ---------------- RAC-specific behaviour ----------------------------------
+
+TEST(ViewRac, FixedQuotaOneRunsInLockMode) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 8);
+  vc.rac = RacMode::kFixed;
+  vc.fixed_quota = 1;
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+
+  constexpr unsigned kThreads = 6;
+  constexpr int kPerThread = 800;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        view.execute([&] { vadd<stm::Word>(cell, 1); });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(vread(cell), kThreads * static_cast<stm::Word>(kPerThread));
+  // Lock mode: exclusive execution, so no aborts are possible.
+  EXPECT_EQ(view.stats().aborts, 0u);
+  EXPECT_EQ(view.quota(), 1u);
+}
+
+TEST(ViewRac, DisabledModeSkipsAdmission) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 4);
+  vc.rac = RacMode::kDisabled;
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 1); });
+  EXPECT_EQ(view.stats().commits, 1u);
+}
+
+TEST(ViewRac, AdaptiveLowersQuotaUnderForcedContention) {
+  // A single hot word hammered by writers with OrecEagerRedo and immediate
+  // retry generates delta >> 1; adaptive RAC must pull the quota down.
+  ViewConfig vc = basic_config(stm::Algo::kOrecEagerRedo, 8);
+  vc.adapt_interval = 128;
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+
+  constexpr unsigned kThreads = 8;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        view.execute([&] {
+          // Encounter-time lock acquired at the write, then held across a
+          // reschedule: every other admitted thread burns aborted cycles
+          // against the held orec — the paper's near-livelock mechanism.
+          vadd<stm::Word>(cell, 1);
+          std::this_thread::yield();
+        });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(vread(cell), kThreads * 50u);
+  EXPECT_LT(view.quota(), 8u) << "quota should have been halved at least once";
+  EXPECT_GT(view.stats().aborts, 0u);
+}
+
+TEST(ViewRac, AdaptiveKeepsQuotaAtMaxWithoutContention) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 8);
+  vc.adapt_interval = 128;
+  View view(vc);
+  constexpr unsigned kThreads = 4;
+  auto* cells = static_cast<stm::Word*>(view.alloc(kThreads * 64 * sizeof(stm::Word)));
+
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 600; ++i) {
+        view.execute([&] {
+          // Disjoint per-thread slots: no conflicts at all.
+          vadd<stm::Word>(&cells[t * 64], 1);
+        });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(view.quota(), 8u);
+}
+
+TEST(ViewRac, ManualQuotaOverride) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 8);
+  vc.rac = RacMode::kFixed;
+  vc.fixed_quota = 8;
+  View view(vc);
+  view.set_quota(3);
+  EXPECT_EQ(view.quota(), 3u);
+  view.set_quota(0);  // clamped
+  EXPECT_EQ(view.quota(), 1u);
+}
+
+// ---------------- transactional memory management -------------------------
+
+TEST(ViewMemory, AllocInsideAbortedTransactionIsUndone) {
+  View view(basic_config(stm::Algo::kNOrec));
+  const std::size_t before = view.arena().allocated();
+  struct Boom {};
+  EXPECT_THROW(view.execute([&] {
+    view.alloc(256);
+    view.alloc(512);
+    throw Boom{};
+  }),
+               Boom);
+  EXPECT_EQ(view.arena().allocated(), before);
+}
+
+TEST(ViewMemory, FreeInsideTransactionIsDeferredToCommit) {
+  View view(basic_config(stm::Algo::kNOrec));
+  void* block = view.alloc(128);
+  const std::size_t with_block = view.arena().allocated();
+  struct Boom {};
+  // Aborted transaction: the deferred free must NOT happen.
+  EXPECT_THROW(view.execute([&] {
+    view.free(block);
+    throw Boom{};
+  }),
+               Boom);
+  EXPECT_EQ(view.arena().allocated(), with_block);
+  // Committed transaction: now it happens.
+  view.execute([&] { view.free(block); });
+  EXPECT_LT(view.arena().allocated(), with_block);
+}
+
+TEST(ViewMemory, AllocCommitPersists) {
+  View view(basic_config(stm::Algo::kNOrec));
+  stm::Word* cell = nullptr;
+  view.execute([&] {
+    cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+    vwrite<stm::Word>(cell, 31337);
+  });
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(vread(cell), 31337u);
+  EXPECT_TRUE(view.arena().owns(cell));
+}
+
+// ---------------- multi-view independence ---------------------------------
+
+TEST(MultiView, IndependentViewsDoNotShareQuotaOrStats) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 4);
+  View a(vc), b(vc);
+  auto* ca = static_cast<stm::Word*>(a.alloc(sizeof(stm::Word)));
+  auto* cb = static_cast<stm::Word*>(b.alloc(sizeof(stm::Word)));
+  a.execute([&] { vwrite<stm::Word>(ca, 1); });
+  a.execute([&] { vwrite<stm::Word>(ca, 2); });
+  b.execute([&] { vwrite<stm::Word>(cb, 1); });
+  EXPECT_EQ(a.stats().commits, 2u);
+  EXPECT_EQ(b.stats().commits, 1u);
+  a.set_quota(1);
+  EXPECT_EQ(a.quota(), 1u);
+  EXPECT_EQ(b.quota(), 4u);
+}
+
+TEST(MultiView, ThreadsAlternateBetweenViews) {
+  ViewConfig vc = basic_config(stm::Algo::kOrecEagerRedo, 6);
+  View a(vc), b(vc);
+  auto* ca = static_cast<stm::Word*>(a.alloc(sizeof(stm::Word)));
+  auto* cb = static_cast<stm::Word*>(b.alloc(sizeof(stm::Word)));
+  constexpr unsigned kThreads = 6;
+  constexpr int kRounds = 500;
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        a.execute([&] { vadd<stm::Word>(ca, 1); });
+        b.execute([&] { vadd<stm::Word>(cb, 1); });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(vread(ca), kThreads * static_cast<stm::Word>(kRounds));
+  EXPECT_EQ(vread(cb), kThreads * static_cast<stm::Word>(kRounds));
+}
+
+TEST(MultiView, LockModeOnOneViewDoesNotBlockTheOther) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 4);
+  View hot(vc), cold(vc);
+  hot.set_quota(1);
+  auto* ch = static_cast<stm::Word*>(hot.alloc(sizeof(stm::Word)));
+  auto* cc = static_cast<stm::Word*>(cold.alloc(sizeof(stm::Word)));
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < 4; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 400; ++i) {
+        hot.execute([&] { vadd<stm::Word>(ch, 1); });
+        cold.execute([&] { vadd<stm::Word>(cc, 1); });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(vread(ch), 1600u);
+  EXPECT_EQ(vread(cc), 1600u);
+  EXPECT_EQ(hot.stats().aborts, 0u);  // exclusive lock mode
+}
+
+}  // namespace
+}  // namespace votm::core
