@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adapt.dir/ablation_adapt.cpp.o"
+  "CMakeFiles/ablation_adapt.dir/ablation_adapt.cpp.o.d"
+  "ablation_adapt"
+  "ablation_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

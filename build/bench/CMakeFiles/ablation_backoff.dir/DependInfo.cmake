@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_backoff.cpp" "bench/CMakeFiles/ablation_backoff.dir/ablation_backoff.cpp.o" "gcc" "bench/CMakeFiles/ablation_backoff.dir/ablation_backoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/votm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eigenbench/CMakeFiles/votm_eigenbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/intruder/CMakeFiles/votm_intruder.dir/DependInfo.cmake"
+  "/root/repo/build/src/vacation/CMakeFiles/votm_vacation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/votm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rac/CMakeFiles/votm_rac.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/votm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/votm_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

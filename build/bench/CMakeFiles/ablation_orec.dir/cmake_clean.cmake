@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_orec.dir/ablation_orec.cpp.o"
+  "CMakeFiles/ablation_orec.dir/ablation_orec.cpp.o.d"
+  "ablation_orec"
+  "ablation_orec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_orec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_vacation.dir/ext_vacation.cpp.o"
+  "CMakeFiles/ext_vacation.dir/ext_vacation.cpp.o.d"
+  "ext_vacation"
+  "ext_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_clock.dir/micro_clock.cpp.o"
+  "CMakeFiles/micro_clock.dir/micro_clock.cpp.o.d"
+  "micro_clock"
+  "micro_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

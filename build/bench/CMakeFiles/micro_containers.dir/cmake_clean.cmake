@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_containers.dir/micro_containers.cpp.o"
+  "CMakeFiles/micro_containers.dir/micro_containers.cpp.o.d"
+  "micro_containers"
+  "micro_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rac.dir/micro_rac.cpp.o"
+  "CMakeFiles/micro_rac.dir/micro_rac.cpp.o.d"
+  "micro_rac"
+  "micro_rac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

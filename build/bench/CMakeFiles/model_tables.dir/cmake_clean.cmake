@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tables.dir/model_tables.cpp.o"
+  "CMakeFiles/model_tables.dir/model_tables.cpp.o.d"
+  "model_tables"
+  "model_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

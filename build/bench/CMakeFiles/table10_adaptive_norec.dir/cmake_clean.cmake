@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_adaptive_norec.dir/table10_adaptive_norec.cpp.o"
+  "CMakeFiles/table10_adaptive_norec.dir/table10_adaptive_norec.cpp.o.d"
+  "table10_adaptive_norec"
+  "table10_adaptive_norec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_adaptive_norec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_eigen_single_oer.dir/table3_eigen_single_oer.cpp.o"
+  "CMakeFiles/table3_eigen_single_oer.dir/table3_eigen_single_oer.cpp.o.d"
+  "table3_eigen_single_oer"
+  "table3_eigen_single_oer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_eigen_single_oer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_eigen_single_oer.
+# This may be replaced when dependencies are built.

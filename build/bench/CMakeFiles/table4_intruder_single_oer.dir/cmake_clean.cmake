@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_intruder_single_oer.dir/table4_intruder_single_oer.cpp.o"
+  "CMakeFiles/table4_intruder_single_oer.dir/table4_intruder_single_oer.cpp.o.d"
+  "table4_intruder_single_oer"
+  "table4_intruder_single_oer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_intruder_single_oer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_intruder_single_oer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_eigen_multi_oer.dir/table5_eigen_multi_oer.cpp.o"
+  "CMakeFiles/table5_eigen_multi_oer.dir/table5_eigen_multi_oer.cpp.o.d"
+  "table5_eigen_multi_oer"
+  "table5_eigen_multi_oer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_eigen_multi_oer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

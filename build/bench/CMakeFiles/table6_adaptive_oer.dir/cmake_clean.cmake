@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_adaptive_oer.dir/table6_adaptive_oer.cpp.o"
+  "CMakeFiles/table6_adaptive_oer.dir/table6_adaptive_oer.cpp.o.d"
+  "table6_adaptive_oer"
+  "table6_adaptive_oer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_adaptive_oer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

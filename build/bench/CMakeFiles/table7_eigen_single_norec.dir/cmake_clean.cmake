@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_eigen_single_norec.dir/table7_eigen_single_norec.cpp.o"
+  "CMakeFiles/table7_eigen_single_norec.dir/table7_eigen_single_norec.cpp.o.d"
+  "table7_eigen_single_norec"
+  "table7_eigen_single_norec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_eigen_single_norec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_intruder_single_norec.dir/table8_intruder_single_norec.cpp.o"
+  "CMakeFiles/table8_intruder_single_norec.dir/table8_intruder_single_norec.cpp.o.d"
+  "table8_intruder_single_norec"
+  "table8_intruder_single_norec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_intruder_single_norec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table8_intruder_single_norec.
+# This may be replaced when dependencies are built.

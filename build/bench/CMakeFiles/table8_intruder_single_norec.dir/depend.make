@@ -1,0 +1,2 @@
+# Empty dependencies file for table8_intruder_single_norec.
+# This may be replaced when dependencies are built.

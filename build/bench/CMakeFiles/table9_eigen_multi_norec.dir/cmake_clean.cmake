@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_eigen_multi_norec.dir/table9_eigen_multi_norec.cpp.o"
+  "CMakeFiles/table9_eigen_multi_norec.dir/table9_eigen_multi_norec.cpp.o.d"
+  "table9_eigen_multi_norec"
+  "table9_eigen_multi_norec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_eigen_multi_norec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_adaptation.dir/trace_adaptation.cpp.o"
+  "CMakeFiles/trace_adaptation.dir/trace_adaptation.cpp.o.d"
+  "trace_adaptation"
+  "trace_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_bench_common.dir/harness.cpp.o"
+  "CMakeFiles/votm_bench_common.dir/harness.cpp.o.d"
+  "libvotm_bench_common.a"
+  "libvotm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvotm_bench_common.a"
+)

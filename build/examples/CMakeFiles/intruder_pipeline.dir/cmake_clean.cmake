@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intruder_pipeline.dir/intruder_pipeline.cpp.o"
+  "CMakeFiles/intruder_pipeline.dir/intruder_pipeline.cpp.o.d"
+  "intruder_pipeline"
+  "intruder_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intruder_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vacation.dir/vacation.cpp.o"
+  "CMakeFiles/vacation.dir/vacation.cpp.o.d"
+  "vacation"
+  "vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arena.cpp" "src/core/CMakeFiles/votm_core.dir/arena.cpp.o" "gcc" "src/core/CMakeFiles/votm_core.dir/arena.cpp.o.d"
+  "/root/repo/src/core/thread_ctx.cpp" "src/core/CMakeFiles/votm_core.dir/thread_ctx.cpp.o" "gcc" "src/core/CMakeFiles/votm_core.dir/thread_ctx.cpp.o.d"
+  "/root/repo/src/core/view.cpp" "src/core/CMakeFiles/votm_core.dir/view.cpp.o" "gcc" "src/core/CMakeFiles/votm_core.dir/view.cpp.o.d"
+  "/root/repo/src/core/votm.cpp" "src/core/CMakeFiles/votm_core.dir/votm.cpp.o" "gcc" "src/core/CMakeFiles/votm_core.dir/votm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stm/CMakeFiles/votm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rac/CMakeFiles/votm_rac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

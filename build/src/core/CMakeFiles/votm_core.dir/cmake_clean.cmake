@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_core.dir/arena.cpp.o"
+  "CMakeFiles/votm_core.dir/arena.cpp.o.d"
+  "CMakeFiles/votm_core.dir/thread_ctx.cpp.o"
+  "CMakeFiles/votm_core.dir/thread_ctx.cpp.o.d"
+  "CMakeFiles/votm_core.dir/view.cpp.o"
+  "CMakeFiles/votm_core.dir/view.cpp.o.d"
+  "CMakeFiles/votm_core.dir/votm.cpp.o"
+  "CMakeFiles/votm_core.dir/votm.cpp.o.d"
+  "libvotm_core.a"
+  "libvotm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

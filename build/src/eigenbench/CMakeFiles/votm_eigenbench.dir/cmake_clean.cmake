@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_eigenbench.dir/eigenbench.cpp.o"
+  "CMakeFiles/votm_eigenbench.dir/eigenbench.cpp.o.d"
+  "libvotm_eigenbench.a"
+  "libvotm_eigenbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_eigenbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intruder/detector.cpp" "src/intruder/CMakeFiles/votm_intruder.dir/detector.cpp.o" "gcc" "src/intruder/CMakeFiles/votm_intruder.dir/detector.cpp.o.d"
+  "/root/repo/src/intruder/dictionary.cpp" "src/intruder/CMakeFiles/votm_intruder.dir/dictionary.cpp.o" "gcc" "src/intruder/CMakeFiles/votm_intruder.dir/dictionary.cpp.o.d"
+  "/root/repo/src/intruder/generator.cpp" "src/intruder/CMakeFiles/votm_intruder.dir/generator.cpp.o" "gcc" "src/intruder/CMakeFiles/votm_intruder.dir/generator.cpp.o.d"
+  "/root/repo/src/intruder/intruder.cpp" "src/intruder/CMakeFiles/votm_intruder.dir/intruder.cpp.o" "gcc" "src/intruder/CMakeFiles/votm_intruder.dir/intruder.cpp.o.d"
+  "/root/repo/src/intruder/tx_queue.cpp" "src/intruder/CMakeFiles/votm_intruder.dir/tx_queue.cpp.o" "gcc" "src/intruder/CMakeFiles/votm_intruder.dir/tx_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/votm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rac/CMakeFiles/votm_rac.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/votm_stm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_intruder.dir/detector.cpp.o"
+  "CMakeFiles/votm_intruder.dir/detector.cpp.o.d"
+  "CMakeFiles/votm_intruder.dir/dictionary.cpp.o"
+  "CMakeFiles/votm_intruder.dir/dictionary.cpp.o.d"
+  "CMakeFiles/votm_intruder.dir/generator.cpp.o"
+  "CMakeFiles/votm_intruder.dir/generator.cpp.o.d"
+  "CMakeFiles/votm_intruder.dir/intruder.cpp.o"
+  "CMakeFiles/votm_intruder.dir/intruder.cpp.o.d"
+  "CMakeFiles/votm_intruder.dir/tx_queue.cpp.o"
+  "CMakeFiles/votm_intruder.dir/tx_queue.cpp.o.d"
+  "libvotm_intruder.a"
+  "libvotm_intruder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_intruder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

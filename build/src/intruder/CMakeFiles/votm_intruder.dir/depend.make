@@ -1,0 +1,2 @@
+# Empty dependencies file for votm_intruder.
+# This may be replaced when dependencies are built.

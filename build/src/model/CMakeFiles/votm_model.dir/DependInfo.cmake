@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/makespan.cpp" "src/model/CMakeFiles/votm_model.dir/makespan.cpp.o" "gcc" "src/model/CMakeFiles/votm_model.dir/makespan.cpp.o.d"
+  "/root/repo/src/model/multiview_sim.cpp" "src/model/CMakeFiles/votm_model.dir/multiview_sim.cpp.o" "gcc" "src/model/CMakeFiles/votm_model.dir/multiview_sim.cpp.o.d"
+  "/root/repo/src/model/simulator.cpp" "src/model/CMakeFiles/votm_model.dir/simulator.cpp.o" "gcc" "src/model/CMakeFiles/votm_model.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

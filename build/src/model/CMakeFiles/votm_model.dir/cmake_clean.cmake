@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_model.dir/makespan.cpp.o"
+  "CMakeFiles/votm_model.dir/makespan.cpp.o.d"
+  "CMakeFiles/votm_model.dir/multiview_sim.cpp.o"
+  "CMakeFiles/votm_model.dir/multiview_sim.cpp.o.d"
+  "CMakeFiles/votm_model.dir/simulator.cpp.o"
+  "CMakeFiles/votm_model.dir/simulator.cpp.o.d"
+  "libvotm_model.a"
+  "libvotm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

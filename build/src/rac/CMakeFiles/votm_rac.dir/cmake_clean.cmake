@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_rac.dir/admission.cpp.o"
+  "CMakeFiles/votm_rac.dir/admission.cpp.o.d"
+  "CMakeFiles/votm_rac.dir/trace.cpp.o"
+  "CMakeFiles/votm_rac.dir/trace.cpp.o.d"
+  "libvotm_rac.a"
+  "libvotm_rac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_rac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

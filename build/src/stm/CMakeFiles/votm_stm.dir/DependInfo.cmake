@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/cgl.cpp" "src/stm/CMakeFiles/votm_stm.dir/cgl.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/cgl.cpp.o.d"
+  "/root/repo/src/stm/engine.cpp" "src/stm/CMakeFiles/votm_stm.dir/engine.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/engine.cpp.o.d"
+  "/root/repo/src/stm/factory.cpp" "src/stm/CMakeFiles/votm_stm.dir/factory.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/factory.cpp.o.d"
+  "/root/repo/src/stm/norec.cpp" "src/stm/CMakeFiles/votm_stm.dir/norec.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/norec.cpp.o.d"
+  "/root/repo/src/stm/orec_eager_redo.cpp" "src/stm/CMakeFiles/votm_stm.dir/orec_eager_redo.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/orec_eager_redo.cpp.o.d"
+  "/root/repo/src/stm/orec_eager_undo.cpp" "src/stm/CMakeFiles/votm_stm.dir/orec_eager_undo.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/orec_eager_undo.cpp.o.d"
+  "/root/repo/src/stm/orec_lazy.cpp" "src/stm/CMakeFiles/votm_stm.dir/orec_lazy.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/orec_lazy.cpp.o.d"
+  "/root/repo/src/stm/tml.cpp" "src/stm/CMakeFiles/votm_stm.dir/tml.cpp.o" "gcc" "src/stm/CMakeFiles/votm_stm.dir/tml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

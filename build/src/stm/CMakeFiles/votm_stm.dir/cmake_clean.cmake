@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_stm.dir/cgl.cpp.o"
+  "CMakeFiles/votm_stm.dir/cgl.cpp.o.d"
+  "CMakeFiles/votm_stm.dir/engine.cpp.o"
+  "CMakeFiles/votm_stm.dir/engine.cpp.o.d"
+  "CMakeFiles/votm_stm.dir/factory.cpp.o"
+  "CMakeFiles/votm_stm.dir/factory.cpp.o.d"
+  "CMakeFiles/votm_stm.dir/norec.cpp.o"
+  "CMakeFiles/votm_stm.dir/norec.cpp.o.d"
+  "CMakeFiles/votm_stm.dir/orec_eager_redo.cpp.o"
+  "CMakeFiles/votm_stm.dir/orec_eager_redo.cpp.o.d"
+  "CMakeFiles/votm_stm.dir/orec_eager_undo.cpp.o"
+  "CMakeFiles/votm_stm.dir/orec_eager_undo.cpp.o.d"
+  "CMakeFiles/votm_stm.dir/orec_lazy.cpp.o"
+  "CMakeFiles/votm_stm.dir/orec_lazy.cpp.o.d"
+  "CMakeFiles/votm_stm.dir/tml.cpp.o"
+  "CMakeFiles/votm_stm.dir/tml.cpp.o.d"
+  "libvotm_stm.a"
+  "libvotm_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

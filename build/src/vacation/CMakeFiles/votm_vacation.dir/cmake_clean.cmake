@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/votm_vacation.dir/vacation.cpp.o"
+  "CMakeFiles/votm_vacation.dir/vacation.cpp.o.d"
+  "libvotm_vacation.a"
+  "libvotm_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/votm_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_algo.dir/test_adaptive_algo.cpp.o"
+  "CMakeFiles/test_adaptive_algo.dir/test_adaptive_algo.cpp.o.d"
+  "test_adaptive_algo"
+  "test_adaptive_algo.pdb"
+  "test_adaptive_algo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigenbench.dir/test_eigenbench.cpp.o"
+  "CMakeFiles/test_eigenbench.dir/test_eigenbench.cpp.o.d"
+  "test_eigenbench"
+  "test_eigenbench.pdb"
+  "test_eigenbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigenbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intruder.dir/test_intruder.cpp.o"
+  "CMakeFiles/test_intruder.dir/test_intruder.cpp.o.d"
+  "test_intruder"
+  "test_intruder.pdb"
+  "test_intruder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intruder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vacation.dir/test_vacation.cpp.o"
+  "CMakeFiles/test_vacation.dir/test_vacation.cpp.o.d"
+  "test_vacation"
+  "test_vacation.pdb"
+  "test_vacation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

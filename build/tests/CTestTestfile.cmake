@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stm_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_stm_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_rac[1]_include.cmake")
+include("/root/repo/build/tests/test_arena[1]_include.cmake")
+include("/root/repo/build/tests/test_view[1]_include.cmake")
+include("/root/repo/build/tests/test_capi[1]_include.cmake")
+include("/root/repo/build/tests/test_containers[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive_algo[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_multiview_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_eigenbench[1]_include.cmake")
+include("/root/repo/build/tests/test_intruder[1]_include.cmake")
+include("/root/repo/build/tests/test_vacation[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
