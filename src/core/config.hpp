@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/algo_select.hpp"
+#include "rac/admission.hpp"
 #include "rac/policy.hpp"
 #include "stm/factory.hpp"
 #include "util/backoff.hpp"
@@ -31,6 +32,20 @@ struct ViewConfig {
 
   RacMode rac = RacMode::kAdaptive;
   unsigned fixed_quota = 0;  // used when rac == kFixed (clamped to [1, N])
+
+  // Admission gate implementation: the packed-word lock-free fast path
+  // (default), or the legacy mutex gate kept as the A/B baseline for
+  // bench/micro_admission.
+  rac::AdmissionImpl admission_impl = rac::AdmissionImpl::kAtomic;
+  // cpu_relax budget an admission spends waiting for a slot before parking
+  // on the condvar (only reached when the view is full or paused).
+  unsigned admission_spin = rac::AdmissionController::kDefaultSpinBudget;
+
+  // Per-view stats stripe count (rounded up to a power of two, capped at
+  // StripedEpochStats::kMaxStripes). 0 = one stripe per potential thread
+  // (max_threads), so commit/abort accounting never shares a cacheline
+  // between threads.
+  unsigned stats_stripes = 0;
 
   // Adaptation epoch length, in transaction *events* (commits + aborts).
   // Counting aborts is essential: in a livelock commits stop, and the

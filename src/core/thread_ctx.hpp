@@ -23,6 +23,10 @@ struct ThreadCtx {
   // Active view while inside an acquire/release (or View::execute) pair.
   View* active_view = nullptr;
 
+  // Commit/abort events since this thread last folded a view's striped
+  // event count for the adaptation-epoch check (see View::note_event).
+  unsigned events_to_adapt_check = 0;
+
   // C-style API (acquire_view macro) state.
   std::jmp_buf checkpoint;
   View* pending_view = nullptr;

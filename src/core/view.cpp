@@ -24,9 +24,16 @@ View::View(ViewConfig config)
     : config_(config),
       engine_(stm::make_engine(config.algo, config.engine)),
       arena_(config.initial_bytes),
-      admission_(config.max_threads, initial_quota(config)),
+      admission_(config.max_threads, initial_quota(config),
+                 config.admission_impl, config.admission_spin),
       policy_(config.max_threads, config.policy),
-      algo_selector_(config.algo_adapt) {
+      algo_selector_(config.algo_adapt),
+      totals_(config.stats_stripes != 0 ? config.stats_stripes
+                                        : config.max_threads) {
+  // Short epochs (tests, reactive-adaptation ablations) keep exact
+  // per-event trigger checks; production-length epochs amortize the
+  // O(stripes) event-count fold over a stride of local events.
+  adapt_check_stride_ = config_.adapt_interval >= 512 ? 16 : 1;
   next_adapt_at_.store(config_.adapt_interval, std::memory_order_relaxed);
 }
 
@@ -67,8 +74,9 @@ void View::enter(ThreadCtx& tc, bool read_only) {
   if (config_.rac != RacMode::kDisabled) {
     const unsigned q = admission_.admit();
     // engine_ must be sampled only after admission: switch_algorithm swaps
-    // it while the view is paused and drained, and the admission mutex is
-    // what orders the swap before this read.
+    // it while the view is paused and drained, and the admission gate's
+    // release (resume) / acquire (admit) pair on the packed state word is
+    // what orders the swap before this read (see DESIGN.md §11).
     engine = engine_.get();
     // Lock mode: quota 1 admits exactly one thread; uninstrumented accesses
     // behind the view mutex (the quota snapshot was taken atomically with
@@ -105,7 +113,7 @@ void View::exit(ThreadCtx& tc) {
   if (config_.rac != RacMode::kDisabled) {
     admission_.leave();
   }
-  note_event();
+  note_event(tc);
 }
 
 void View::rollback_trampoline(stm::TxThread& tx) {
@@ -127,7 +135,7 @@ void View::handle_abort(ThreadCtx& tc) {
   if (config_.rac != RacMode::kDisabled) {
     admission_.leave();
   }
-  note_event();
+  note_event(tc);
   // tc.active_view intentionally stays set: the retry re-enters this view.
 }
 
@@ -191,11 +199,16 @@ void View::switch_algorithm(stm::Algo algo) {
   admission_.resume();
 }
 
-void View::note_event() {
+void View::note_event(ThreadCtx& tc) {
   if (config_.rac != RacMode::kAdaptive) return;
-  const std::uint64_t events =
-      totals_.commits.load(std::memory_order_relaxed) +
-      totals_.aborts.load(std::memory_order_relaxed);
+  // Local pacing before the O(stripes) fold. The stride is per-thread, so
+  // the trigger fires at most stride * threads events past the threshold —
+  // noise at the default 2048-event epoch (stride is 1 for short epochs).
+  if (adapt_check_stride_ > 1) {
+    if (++tc.events_to_adapt_check < adapt_check_stride_) return;
+    tc.events_to_adapt_check = 0;
+  }
+  const std::uint64_t events = totals_.event_count();
   if (events < next_adapt_at_.load(std::memory_order_relaxed)) return;
   // One adapter at a time; losers skip (the winner will reset the epoch).
   if (!adapt_mu_.try_lock()) return;

@@ -77,7 +77,8 @@ class View {
   stm::TxEngine& engine() noexcept { return *engine_; }
 
   // Monotonic whole-run statistics (the tables' #abort / #tx / cycles rows).
-  stm::StatsSnapshot stats() const noexcept { return stm::snapshot(totals_); }
+  // Folds the per-thread stripes; equal to the old single-counter totals.
+  stm::StatsSnapshot stats() const noexcept { return totals_.fold(); }
 
   // delta(Q) over the whole run at the current quota (tables' final row).
   double whole_run_delta() const;
@@ -143,8 +144,10 @@ class View {
   void undo_tx_allocs(ThreadCtx& tc);
   void apply_deferred_frees(ThreadCtx& tc);
 
-  // Epoch bookkeeping: called after every commit/abort event.
-  void note_event();
+  // Epoch bookkeeping: called after every commit/abort event. Folding the
+  // striped event count is O(stripes), so each thread only checks the epoch
+  // trigger every adapt_check_stride_ of its own events.
+  void note_event(ThreadCtx& tc);
   void adapt_locked();
 
   ViewConfig config_;
@@ -156,7 +159,8 @@ class View {
   AlgoSelector algo_selector_;
   mutable std::mutex algo_mu_;  // guards config_.algo reads vs switches
 
-  stm::EpochStats totals_;
+  stm::StripedEpochStats totals_;
+  unsigned adapt_check_stride_ = 1;
   Log2Histogram commit_latency_;
   Log2Histogram abort_latency_;
   rac::AdaptationTrace trace_;

@@ -1,22 +1,285 @@
 #include "rac/admission.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "util/backoff.hpp"
 
 namespace votm::rac {
+namespace {
+
+std::uint64_t next_serial() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Drain loops poll the slot sums on this period: the open-mode fast path
+// never notifies, so the closer wakes itself. Gate transitions are rare
+// (adaptation epochs are millisecond-scale); 100us adds nothing visible.
+constexpr auto kDrainPoll = std::chrono::microseconds(100);
+
+}  // namespace
 
 AdmissionController::AdmissionController(unsigned max_threads,
-                                         unsigned initial_quota)
-    : max_threads_(std::max(1u, max_threads)),
-      quota_(std::clamp(initial_quota, 1u, max_threads_)) {}
+                                         unsigned initial_quota,
+                                         AdmissionImpl impl,
+                                         unsigned spin_budget)
+    : max_threads_(std::clamp(max_threads, 1u,
+                              static_cast<unsigned>(kFieldMask))),
+      impl_(impl),
+      spin_budget_(spin_budget),
+      open_ok_(impl == AdmissionImpl::kAtomic &&
+               asymmetric_fence_available()),
+      serial_(next_serial()),
+      slots_(impl == AdmissionImpl::kAtomic
+                 ? std::make_unique<Slot[]>(max_threads_)
+                 : nullptr),
+      quota_(std::clamp(initial_quota, 1u, max_threads_)) {
+  const std::uint64_t w = static_cast<std::uint64_t>(quota_) << kQShift;
+  state_.store(maybe_open(w), std::memory_order_relaxed);
+}
 
-unsigned AdmissionController::admit() {
+AdmissionController::Slot* AdmissionController::claim_slot(
+    SlotCacheEntry& e) noexcept {
+  const auto token = static_cast<std::uint64_t>(thread_ordinal()) + 1;
+  // The cache way may have been evicted by another controller: re-find a
+  // slot this thread already owns before claiming a fresh one (a slot must
+  // stay with its owner — in/out are owner-exclusive plain stores).
+  for (unsigned i = 0; i < max_threads_; ++i) {
+    if (slots_[i].owner.load(std::memory_order_relaxed) == token) {
+      e = {serial_, i};
+      return &slots_[i];
+    }
+  }
+  for (unsigned i = 0; i < max_threads_; ++i) {
+    std::uint64_t expect = 0;
+    if (slots_[i].owner.compare_exchange_strong(
+            expect, token, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      e = {serial_, i};
+      return &slots_[i];
+    }
+  }
+  e = {serial_, kNoSlot};  // more distinct threads than slots: CAS gate
+  return nullptr;
+}
+
+std::uint64_t AdmissionController::stripes_pending() const noexcept {
+  if (slots_ == nullptr) return 0;
+  std::uint64_t pending = 0;
+  for (unsigned i = 0; i < max_threads_; ++i) {
+    // out before in: a concurrent entry between the two reads can only
+    // overestimate pending (the poll re-checks), never miss a resident.
+    const std::uint64_t out = slots_[i].out.load(std::memory_order_acquire);
+    const std::uint64_t in = slots_[i].in.load(std::memory_order_acquire);
+    pending += in - out;
+  }
+  return pending;
+}
+
+bool AdmissionController::try_admit_residue(unsigned* quota_out) {
+  std::uint64_t w = state_.load(std::memory_order_acquire);
+  while (w & kResidueBit) {
+    if (hard_closed(w)) return false;
+    const std::uint64_t pending = stripes_pending();
+    if (pending == 0) {
+      // All residents of the closed gate-open epoch have left: retire the
+      // bit so admissions take the plain CAS path again. (Later transient
+      // in/out blips come only from undone stragglers, never residents.)
+      state_.compare_exchange_weak(w, w & ~kResidueBit,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire);
+      continue;
+    }
+    if (p_of(w) + pending >= q_of(w)) return false;
+    if (state_.compare_exchange_weak(w, w + kPOne, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      if (quota_out != nullptr) *quota_out = q_of(w);
+      return true;
+    }
+  }
+  // Residue retired (by us or someone else): take the ordinary path.
+  return try_admit(quota_out);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-word implementation.
+//
+// Lost-wakeup protocol: a thread that must block first registers in the W
+// field and re-checks the state word *while holding mu_*; every waker
+// updates the state word first, then acquires-and-releases mu_ before
+// notifying. Either the state update precedes the waiter's re-check (the
+// waiter never sleeps), or the waker's lock acquisition is forced to wait
+// until cv_.wait has released mu_ (the notify reaches the sleeping waiter).
+// ---------------------------------------------------------------------------
+
+unsigned AdmissionController::admit_contended() {
+  // Bounded spin-with-backoff: a slot may free up within the budget
+  // (another thread's leave() is one plain store or fetch_sub away).
+  // Windows grow exponentially so a near-miss retries fast while a full
+  // view backs off. try_admit carries the full admission logic (gate-open
+  // slots, residue accounting, plain CAS gate).
+  unsigned q = 0;
+  unsigned spent = 0;
+  unsigned window = 1;
+  while (spent < spin_budget_) {
+    for (unsigned i = 0; i < window && spent < spin_budget_; ++i, ++spent) {
+      Backoff::cpu_relax();
+    }
+    window = window < 64 ? window * 2 : 64;
+    if (try_admit(&q)) return q;
+  }
+  return admit_park();
+}
+
+unsigned AdmissionController::admit_park() {
+  std::unique_lock<std::mutex> lk(mu_);
+  state_.fetch_add(kWOne, std::memory_order_relaxed);
+  unsigned q = 0;
+  while (!try_admit(&q)) {
+    // Residue residents leave through their slots without touching mu_, so
+    // poll while the bit is set; every other waker (gated leave, resume,
+    // set_quota) follows the lock-then-notify protocol.
+    if (state_.load(std::memory_order_acquire) & kResidueBit) {
+      cv_.wait_for(lk, kDrainPoll);
+    } else {
+      cv_.wait(lk);
+    }
+  }
+  state_.fetch_sub(kWOne, std::memory_order_relaxed);
+  return q;
+}
+
+void AdmissionController::leave_wake(std::uint64_t old_word) {
+  const bool drained = p_of(old_word) == 1;
+  { std::lock_guard<std::mutex> lk(mu_); }  // pair with a parker's re-check
+  // A drain waiter (pause / set_quota leaving lock mode) may be parked;
+  // notify_one could wake an admission waiter instead of it, so broadcast
+  // on the drained edge.
+  if (drained) {
+    cv_.notify_all();
+  } else {
+    cv_.notify_one();
+  }
+}
+
+void AdmissionController::pause() {
+  if (impl_ == AdmissionImpl::kMutex) return pause_mutex();
+  std::unique_lock<std::mutex> lk(mu_);
+  // Close the gate (PAUSED stops gated admissions; clearing OPEN stops
+  // fence-free ones), then heavy-fence: from here on every fence-free
+  // admission is either visible in the slot sums below or undoes itself.
+  std::uint64_t w = state_.load(std::memory_order_acquire);
+  while (!state_.compare_exchange_weak(w, (w | kPausedBit) & ~kOpenBit,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+  }
+  asymmetric_fence_heavy();
+  state_.fetch_add(kWOne, std::memory_order_relaxed);
+  // The acquire load that finally observes P == 0 synchronizes with the
+  // last gated leave()'s release decrement, and the poll's acquire reads
+  // of the out counters do the same for slot residents: the view is
+  // quiescent and all its threads' effects are visible.
+  while (p_of(state_.load(std::memory_order_acquire)) != 0 ||
+         stripes_pending() != 0) {
+    cv_.wait_for(lk, kDrainPoll);
+  }
+  state_.fetch_sub(kWOne, std::memory_order_relaxed);
+}
+
+void AdmissionController::resume() {
+  if (impl_ == AdmissionImpl::kMutex) return resume_mutex();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Release ordering: an admit that sees the cleared bit (or the OPEN
+    // bit) also sees every write made while the view was paused (e.g. the
+    // engine swap).
+    std::uint64_t w = state_.load(std::memory_order_acquire);
+    while (!state_.compare_exchange_weak(w, maybe_open(w & ~kPausedBit),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    }
+  }
+  cv_.notify_all();
+}
+
+unsigned AdmissionController::quota_mutex() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quota_;
+}
+
+unsigned AdmissionController::admitted_mutex() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admitted_;
+}
+
+void AdmissionController::set_quota(unsigned q) {
+  if (impl_ == AdmissionImpl::kMutex) return set_quota_mutex(q);
+  const unsigned clamped = std::clamp(q, 1u, max_threads_);
+  std::unique_lock<std::mutex> lk(mu_);  // serializes slow-path mutators
+  std::uint64_t w = state_.load(std::memory_order_acquire);
+  bool raised = false;
+  bool gate_was_closed = false;
+  for (;;) {
+    if (q_of(w) == clamped) break;
+    if (w & kOpenBit) {
+      // Leaving gate-open mode. Lowering must not wait (callers may hold
+      // admissions), so the residents stay accounted in their slots and
+      // RESIDUE folds them into gated admission checks until they leave.
+      // DRAIN covers just the heavy fence: no gated admission may be
+      // granted until every in-flight fence-free admission is either
+      // visible in the slot sums or has undone itself — otherwise a
+      // transition to Q = 1 could admit a lock-mode thread while an
+      // unaccounted open-mode resident is still inside.
+      if (!state_.compare_exchange_weak(
+              w, (w | kDrainBit | kResidueBit) & ~kOpenBit,
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        continue;
+      }
+      asymmetric_fence_heavy();
+      gate_was_closed = true;
+      w = state_.load(std::memory_order_acquire);
+      continue;
+    }
+    if (q_of(w) == 1 && clamped > 1 && p_of(w) != 0) {
+      // Leaving lock mode: close the gate (DRAIN) and wait until no
+      // lock-mode thread is inside, so a newly admitted transactional
+      // thread can never overlap one. The gate bound makes the drain
+      // finite even under heavy admission churn.
+      state_.fetch_or(kDrainBit, std::memory_order_acq_rel);
+      state_.fetch_add(kWOne, std::memory_order_relaxed);
+      while (p_of(state_.load(std::memory_order_acquire)) != 0) {
+        cv_.wait(lk);
+      }
+      state_.fetch_sub(kWOne, std::memory_order_relaxed);
+      w = state_.load(std::memory_order_acquire);
+    }
+    raised = clamped > q_of(w);
+    const std::uint64_t next =
+        maybe_open(with_quota(w, clamped) & ~kDrainBit);
+    if (state_.compare_exchange_weak(w, next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      break;
+    }
+  }
+  lk.unlock();
+  // Threads may have parked while the gate was closed for a drain; the
+  // install reopened it, so wake them along with any quota-raise waiters.
+  if (raised || gate_was_closed) cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy mutex implementation (A/B baseline for bench/micro_admission).
+// ---------------------------------------------------------------------------
+
+unsigned AdmissionController::admit_mutex() {
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return !paused_ && admitted_ < quota_; });
   ++admitted_;
   return quota_;
 }
 
-bool AdmissionController::try_admit(unsigned* quota_out) {
+bool AdmissionController::try_admit_mutex(unsigned* quota_out) {
   std::lock_guard<std::mutex> lk(mu_);
   if (paused_ || admitted_ >= quota_) return false;
   ++admitted_;
@@ -24,7 +287,7 @@ bool AdmissionController::try_admit(unsigned* quota_out) {
   return true;
 }
 
-void AdmissionController::leave() {
+void AdmissionController::leave_mutex() {
   bool drained = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -41,13 +304,13 @@ void AdmissionController::leave() {
   }
 }
 
-void AdmissionController::pause() {
+void AdmissionController::pause_mutex() {
   std::unique_lock<std::mutex> lk(mu_);
   paused_ = true;  // stops new admissions immediately
   cv_.wait(lk, [&] { return admitted_ == 0; });
 }
 
-void AdmissionController::resume() {
+void AdmissionController::resume_mutex() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     paused_ = false;
@@ -55,17 +318,7 @@ void AdmissionController::resume() {
   cv_.notify_all();
 }
 
-unsigned AdmissionController::quota() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return quota_;
-}
-
-unsigned AdmissionController::admitted() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return admitted_;
-}
-
-void AdmissionController::set_quota(unsigned q) {
+void AdmissionController::set_quota_mutex(unsigned q) {
   bool raised = false;
   {
     std::unique_lock<std::mutex> lk(mu_);

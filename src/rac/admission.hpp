@@ -5,21 +5,92 @@
 // a transaction; otherwise it blocks until P < Q. release_view (and every
 // abort-and-reacquire cycle) decrements P.
 //
-// Blocking uses a condition variable rather than spinning: the paper runs
-// N = 16 threads and the quota may be 1, so up to 15 threads can be parked
-// at once — spinning would destroy the lock-mode (Q = 1) results on an
-// oversubscribed host.
+// Fast path (AdmissionImpl::kAtomic, the default): P, Q, the waiter count W
+// and the pause/drain bits live in ONE 64-bit atomic word, so admit/leave at
+// P < Q are a single CAS / fetch_sub and never touch a mutex. This matters
+// because at Q = N — the uncontended regime where the paper says TM should
+// win — a per-admission mutex is itself the contention hot spot and distorts
+// the very delta(Q) cycle accounting that drives RAC's Eq. 5 adaptation.
+//
+//   bits  0..15  P  admitted count
+//   bits 16..31  Q  quota (so the quota snapshot admit() returns is taken
+//                   atomically with the admission, for free)
+//   bits 32..47  W  waiters (threads parked, or committed to parking)
+//   bit  48         PAUSED (pause()/resume() quiesce protocol)
+//   bit  49         DRAIN  (set_quota transition; blocks new admissions so
+//                          the drain is bounded)
+//   bit  50         OPEN   (gate-open mode, see below)
+//   bit  51         RESIDUE (slot residents from a closed gate-open epoch
+//                           still count against the quota until they leave)
+//
+// Gate-open mode: when Q == max_threads and the gate is neither paused nor
+// draining, admission can NEVER block — each of the <= max_threads threads
+// holds at most one admission, so P < Q whenever anyone calls admit(). In
+// that regime (the paper's uncontended Q = N case) even the CAS gate is
+// pure overhead: two lock-prefixed RMWs per transaction on one shared
+// cacheline. With the OPEN bit set, admit/leave instead bump an
+// owner-exclusive per-thread slot counter pair (in/out) with plain release
+// stores — no RMW at all. Closing the gate (pause, set_quota away from N)
+// clears OPEN and issues an asymmetric heavy fence (membarrier): after it,
+// every fence-free admission is either visible in the slot sums or will
+// observe the cleared OPEN bit and undo itself, so a fence-free admission
+// that sneaks past a closed gate is impossible
+// (util/asymmetric_fence.hpp documents the argument). pause() then polls
+// the slot sums until every in == out; set_quota instead lowers the quota
+// immediately (lowering must not wait — callers may hold admissions) and
+// sets RESIDUE, which folds the remaining slot residents into the gated
+// admission check until they have all left.
+// If membarrier is unavailable the OPEN bit is simply never set and every
+// admission takes the CAS gate.
+//
+// Quota correctness in gate-open mode relies on the usage contract that
+// the total number of concurrently held admissions never exceeds
+// max_threads (automatic when each of <= max_threads threads holds at
+// most one admission — the acquire/release discipline every view client
+// follows), and that leave() runs on the admitting thread: an open-mode
+// admission is ledgered in the admitting thread's slot, like a mutex
+// release. The gated CAS path keeps the seed behaviour of tolerating a
+// cross-thread leave (the drain tests use it at Q < max_threads).
+//
+// When the view is full or paused, admit() spins briefly (bounded budget,
+// exponential cpu_relax windows) and then parks on a condvar: the paper runs
+// N = 16 threads and the quota may be 1, so up to 15 threads can be blocked
+// at once — unbounded spinning would destroy the lock-mode (Q = 1) results
+// on an oversubscribed host. leave() wakes parked threads only when W > 0;
+// the common no-waiter exit is mutex- and syscall-free.
+//
+// The legacy mutex+condvar implementation is kept behind
+// AdmissionImpl::kMutex as the A/B baseline for bench/micro_admission.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <memory>
 #include <mutex>
+
+#include "util/asymmetric_fence.hpp"
+#include "util/cacheline.hpp"
+#include "util/thread_ordinal.hpp"
 
 namespace votm::rac {
 
+enum class AdmissionImpl : std::uint8_t {
+  kAtomic,  // packed-word CAS fast path (default)
+  kMutex,   // legacy mutex gate, kept for A/B benchmarking
+};
+
 class AdmissionController {
  public:
+  // Spin budget: cpu_relax iterations spent waiting for a slot before
+  // parking. Small by default — on an oversubscribed host the holder is
+  // likely descheduled and spinning only delays it further.
+  static constexpr unsigned kDefaultSpinBudget = 128;
+
   // initial_quota is clamped to [1, max_threads].
-  AdmissionController(unsigned max_threads, unsigned initial_quota);
+  AdmissionController(unsigned max_threads, unsigned initial_quota,
+                      AdmissionImpl impl = AdmissionImpl::kAtomic,
+                      unsigned spin_budget = kDefaultSpinBudget);
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
@@ -27,18 +98,101 @@ class AdmissionController {
   // Blocks until P < Q, then enters (P += 1). Returns the quota observed
   // atomically with the admission — the caller uses it to pick lock mode
   // (Q == 1) vs transactional mode for this execution. The mode-switch
-  // safety argument needs the snapshot to be taken under the same lock.
-  unsigned admit();
+  // safety argument needs the snapshot to be atomic with the admission;
+  // the packed word gives this without a lock (see DESIGN.md §11).
+  //
+  // The CAS fast path is inlined: this runs once per transaction attempt
+  // and an out-of-line call would cost as much as the gate itself.
+  unsigned admit() {
+    if (impl_ == AdmissionImpl::kAtomic) {
+      std::uint64_t w = state_.load(std::memory_order_acquire);
+      if (w & kOpenBit) {
+        if (Slot* s = my_slot()) {
+          if (slot_enter(*s)) return max_threads_;
+        }
+        w = state_.load(std::memory_order_acquire);
+      }
+      while (!gate_closed(w) && p_of(w) < q_of(w)) {
+        if (state_.compare_exchange_weak(w, w + kPOne,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          return q_of(w);
+        }
+      }
+      return admit_contended();
+    }
+    return admit_mutex();
+  }
 
   // Non-blocking variant; on success stores the observed quota.
-  bool try_admit(unsigned* quota_out = nullptr);
+  bool try_admit(unsigned* quota_out = nullptr) {
+    if (impl_ == AdmissionImpl::kMutex) return try_admit_mutex(quota_out);
+    std::uint64_t w = state_.load(std::memory_order_acquire);
+    if (w & kOpenBit) {
+      if (Slot* s = my_slot()) {
+        if (slot_enter(*s)) {
+          if (quota_out != nullptr) *quota_out = max_threads_;
+          return true;
+        }
+      }
+      w = state_.load(std::memory_order_acquire);
+    }
+    for (;;) {
+      if (gate_closed(w)) {
+        if (hard_closed(w)) return false;
+        return try_admit_residue(quota_out);
+      }
+      if (p_of(w) >= q_of(w)) return false;
+      if (state_.compare_exchange_weak(w, w + kPOne,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        if (quota_out != nullptr) *quota_out = q_of(w);
+        return true;
+      }
+    }
+  }
 
-  // Leaves (P -= 1) and wakes one blocked thread.
-  void leave();
+  // Leaves; wakes parked threads only when any exist — the common exit is
+  // one plain store (open mode) or one fetch_sub (gated), never a syscall.
+  void leave() {
+    if (impl_ == AdmissionImpl::kAtomic) {
+      // A slot with in != out records this thread's open-mode admission
+      // (a thread holds at most one admission per controller, so the two
+      // ledgers can't both be charged). The release store pairs with the
+      // drain poll's acquire read: a pause() that observes the slot drained
+      // also observes everything this thread did inside the view.
+      if (Slot* s = my_slot()) {
+        const std::uint64_t in = s->in.load(std::memory_order_relaxed);
+        const std::uint64_t out = s->out.load(std::memory_order_relaxed);
+        if (in != out) {
+          s->out.store(out + 1, std::memory_order_release);
+          return;  // drain loops poll with a timeout; no notify needed
+        }
+      }
+      // Gated leave. Release ordering: a later admit/pause that observes
+      // this decrement also observes everything this thread did inside the
+      // view (the engine-swap safety argument in View::switch_algorithm
+      // needs it).
+      const std::uint64_t old =
+          state_.fetch_sub(kPOne, std::memory_order_acq_rel);
+      if (w_of(old) == 0) return;
+      leave_wake(old);
+    } else {
+      leave_mutex();
+    }
+  }
 
-  unsigned quota() const;
-  unsigned admitted() const;
+  unsigned quota() const {
+    if (impl_ == AdmissionImpl::kMutex) return quota_mutex();
+    return q_of(state_.load(std::memory_order_acquire));
+  }
+  unsigned admitted() const {
+    if (impl_ == AdmissionImpl::kMutex) return admitted_mutex();
+    return p_of(state_.load(std::memory_order_acquire)) +
+           static_cast<unsigned>(stripes_pending());
+  }
   unsigned max_threads() const noexcept { return max_threads_; }
+  AdmissionImpl impl() const noexcept { return impl_; }
 
   // Blocks new admissions and waits until the view drains (P == 0).
   // Used for operations that need the view quiescent while it stays alive:
@@ -58,10 +212,130 @@ class AdmissionController {
   void set_quota(unsigned q);
 
  private:
+  // ---- packed-word helpers -----------------------------------------------
+  static constexpr std::uint64_t kFieldMask = 0xFFFFu;
+  static constexpr unsigned kQShift = 16;
+  static constexpr unsigned kWShift = 32;
+  static constexpr std::uint64_t kPOne = 1;
+  static constexpr std::uint64_t kWOne = std::uint64_t{1} << kWShift;
+  static constexpr std::uint64_t kPausedBit = std::uint64_t{1} << 48;
+  static constexpr std::uint64_t kDrainBit = std::uint64_t{1} << 49;
+  static constexpr std::uint64_t kOpenBit = std::uint64_t{1} << 50;
+  static constexpr std::uint64_t kResidueBit = std::uint64_t{1} << 51;
+
+  static unsigned p_of(std::uint64_t w) noexcept {
+    return static_cast<unsigned>(w & kFieldMask);
+  }
+  static unsigned q_of(std::uint64_t w) noexcept {
+    return static_cast<unsigned>((w >> kQShift) & kFieldMask);
+  }
+  static unsigned w_of(std::uint64_t w) noexcept {
+    return static_cast<unsigned>((w >> kWShift) & kFieldMask);
+  }
+  // True when the CAS fast path must defer to the slow path (hard-closed
+  // gate, or residue accounting that needs the slot sums).
+  static bool gate_closed(std::uint64_t w) noexcept {
+    return (w & (kPausedBit | kDrainBit | kResidueBit)) != 0;
+  }
+  static bool hard_closed(std::uint64_t w) noexcept {
+    return (w & (kPausedBit | kDrainBit)) != 0;
+  }
+  static std::uint64_t with_quota(std::uint64_t w, unsigned q) noexcept {
+    return (w & ~(kFieldMask << kQShift)) |
+           (static_cast<std::uint64_t>(q) << kQShift);
+  }
+
+  // ---- open-mode slots ----------------------------------------------------
+  // One per thread (claimed on first use), written only by its owner:
+  // in/out are plain release stores, never RMWs. in - out is 1 while the
+  // owner holds an open-mode admission, else 0.
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> owner{0};  // thread token; 0 = free
+    std::atomic<std::uint64_t> in{0};
+    std::atomic<std::uint64_t> out{0};
+  };
+
+  struct SlotCacheEntry {
+    std::uint64_t serial;  // controller serial; 0 never matches
+    unsigned idx;          // kNoSlot caches "this thread has none"
+  };
+  static constexpr unsigned kSlotCacheWays = 8;
+  static constexpr unsigned kNoSlot = ~0u;
+
+  // This thread's slot, or nullptr when more distinct threads than
+  // max_threads have used the controller (they fall back to the CAS gate).
+  // The thread-local cache makes the common lookup a couple of loads.
+  Slot* my_slot() noexcept {
+    static thread_local SlotCacheEntry cache[kSlotCacheWays] = {};
+    SlotCacheEntry& e = cache[serial_ & (kSlotCacheWays - 1)];
+    if (e.serial == serial_) {
+      return e.idx == kNoSlot ? nullptr : &slots_[e.idx];
+    }
+    return claim_slot(e);
+  }
+
+  // Open-mode entry: publish in+1, then re-check the gate. The signal
+  // fence keeps the compiled order store-then-load; the gate closer's
+  // heavy fence (membarrier) guarantees it either observes our entry in
+  // its drain poll or we observe the cleared OPEN bit here and undo.
+  bool slot_enter(Slot& s) noexcept {
+    s.in.store(s.in.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+    if (state_.load(std::memory_order_acquire) & kOpenBit) return true;
+    s.out.store(s.out.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+    return false;
+  }
+
+  Slot* claim_slot(SlotCacheEntry& e) noexcept;
+  std::uint64_t stripes_pending() const noexcept;
+  // Sets OPEN (retiring any residue — the residents just become ordinary
+  // slot residents again) when the word qualifies: Q == max_threads, gate
+  // not hard-closed, and the host supports the asymmetric fence.
+  std::uint64_t maybe_open(std::uint64_t w) const noexcept {
+    if (open_ok_ && q_of(w) == max_threads_ && !hard_closed(w)) {
+      return (w & ~kResidueBit) | kOpenBit;
+    }
+    return w;
+  }
+
+  // try_admit when the word carries RESIDUE: folds the slot residents into
+  // the quota check, and retires the bit once they have all left.
+  bool try_admit_residue(unsigned* quota_out);
+  // Fast path missed: bounded spin-with-backoff, then condvar parking.
+  unsigned admit_contended();
+  // Parks on the condvar until admitted; returns the observed quota.
+  unsigned admit_park();
+  // A leave() that saw parked threads: notify under the waker protocol.
+  void leave_wake(std::uint64_t old_word);
+
+  // ---- legacy mutex implementation ---------------------------------------
+  unsigned admit_mutex();
+  bool try_admit_mutex(unsigned* quota_out);
+  void leave_mutex();
+  void pause_mutex();
+  void resume_mutex();
+  void set_quota_mutex(unsigned q);
+  unsigned quota_mutex() const;
+  unsigned admitted_mutex() const;
+
   const unsigned max_threads_;
+  const AdmissionImpl impl_;
+  const unsigned spin_budget_;
+  const bool open_ok_;         // asymmetric fence available on this host
+  const std::uint64_t serial_; // process-unique, keys the slot cache
+  std::unique_ptr<Slot[]> slots_;  // max_threads_ entries
+
+  // Atomic impl: all admission state lives here; mu_/cv_ are only touched
+  // by parked threads and their wakers.
+  std::atomic<std::uint64_t> state_{0};
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  unsigned quota_;
+
+  // Mutex impl state (unused in kAtomic mode).
+  unsigned quota_ = 1;
   unsigned admitted_ = 0;
   bool paused_ = false;
 };

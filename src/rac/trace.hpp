@@ -3,12 +3,22 @@
 // The paper's Tables VI/X report only the quota RAC *settles* on; to see
 // HOW it gets there (the halving cascade out of a livelock, the damping
 // that prevents 2 <-> 4 oscillation), views can record one TracePoint per
-// adaptation epoch. The recorder is append-only under the adaptation lock
-// (one writer at a time by construction) and snapshotted for reporting.
+// adaptation epoch.
+//
+// The recorder is a fixed-capacity lock-free ring buffer: record() claims a
+// slot with one fetch_add and publishes it with a per-slot sequence stamp
+// (seqlock idiom over relaxed atomics — TSan-clean, no torn reads), so
+// tracing never takes a lock on, and never perturbs, the adaptation path it
+// measures. snapshot() copies the retained window and drops any slot a
+// concurrent writer is lapping (with the default 4096-slot capacity and one
+// record per >= 2048-event epoch, lapping a reader mid-copy is effectively
+// impossible). Slots are allocated lazily on first record, so views that
+// never trace pay one pointer.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,32 +35,122 @@ struct TracePoint {
 
 class AdaptationTrace {
  public:
-  void record(const TracePoint& point) {
-    std::lock_guard<std::mutex> lk(mu_);
-    points_.push_back(point);
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  // Capacity is rounded up to a power of two. Once full, the ring keeps
+  // the most recent `capacity` points (the settling tail, which is what
+  // the tables report).
+  explicit AdaptationTrace(std::size_t capacity = kDefaultCapacity) {
+    std::size_t pow2 = 1;
+    while (pow2 < capacity) pow2 <<= 1;
+    capacity_ = pow2;
   }
 
+  AdaptationTrace(const AdaptationTrace&) = delete;
+  AdaptationTrace& operator=(const AdaptationTrace&) = delete;
+
+  ~AdaptationTrace() { delete[] slots_.load(std::memory_order_acquire); }
+
+  void record(const TracePoint& point) noexcept {
+    Slot* slots = slots_or_init();
+    const std::uint64_t idx = head_.fetch_add(1, std::memory_order_acq_rel);
+    Slot& s = slots[idx & (capacity_ - 1)];
+    // Seqlock publish: odd = writing, 2*idx+2 = generation idx complete.
+    // The release fence orders the odd stamp before the field stores, so a
+    // reader that saw any new field value must also see the stamp change
+    // on its re-check (fence-to-fence synchronization with snapshot()).
+    s.seq.store(2 * idx + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.event_count.store(point.event_count, std::memory_order_relaxed);
+    s.epoch_commits.store(point.epoch_commits, std::memory_order_relaxed);
+    s.epoch_aborts.store(point.epoch_aborts, std::memory_order_relaxed);
+    s.delta.store(point.delta, std::memory_order_relaxed);
+    s.quota_before.store(point.quota_before, std::memory_order_relaxed);
+    s.quota_after.store(point.quota_after, std::memory_order_relaxed);
+    s.seq.store(2 * idx + 2, std::memory_order_release);
+  }
+
+  // The retained window, oldest first. Slots a concurrent writer is mid-
+  // overwrite are dropped rather than returned torn.
   std::vector<TracePoint> snapshot() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return points_;
+    const Slot* slots = slots_.load(std::memory_order_acquire);
+    if (slots == nullptr) return {};
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+    std::vector<TracePoint> out;
+    out.reserve(static_cast<std::size_t>(head - begin));
+    for (std::uint64_t i = begin; i < head; ++i) {
+      const Slot& s = slots[i & (capacity_ - 1)];
+      if (s.seq.load(std::memory_order_acquire) != 2 * i + 2) continue;
+      TracePoint p;
+      p.event_count = s.event_count.load(std::memory_order_relaxed);
+      p.epoch_commits = s.epoch_commits.load(std::memory_order_relaxed);
+      p.epoch_aborts = s.epoch_aborts.load(std::memory_order_relaxed);
+      p.delta = s.delta.load(std::memory_order_relaxed);
+      p.quota_before = s.quota_before.load(std::memory_order_relaxed);
+      p.quota_after = s.quota_after.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != 2 * i + 2) continue;
+      out.push_back(p);
+    }
+    return out;
   }
 
+  // Points currently retained (<= capacity()).
   std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
-    return points_.size();
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(head < capacity_ ? head : capacity_);
   }
 
+  // Points ever recorded, including any the ring has since overwritten.
+  std::uint64_t total_recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Caller must guarantee no concurrent record() (quiescent views only).
   void clear() {
-    std::lock_guard<std::mutex> lk(mu_);
-    points_.clear();
+    Slot* slots = slots_.load(std::memory_order_acquire);
+    if (slots != nullptr) {
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        slots[i].seq.store(0, std::memory_order_relaxed);
+      }
+    }
+    head_.store(0, std::memory_order_release);
   }
 
   // CSV with header, for offline plotting.
   std::string to_csv() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TracePoint> points_;
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = never written
+    std::atomic<std::uint64_t> event_count{0};
+    std::atomic<std::uint64_t> epoch_commits{0};
+    std::atomic<std::uint64_t> epoch_aborts{0};
+    std::atomic<double> delta{0.0};
+    std::atomic<unsigned> quota_before{0};
+    std::atomic<unsigned> quota_after{0};
+  };
+
+  Slot* slots_or_init() noexcept {
+    Slot* s = slots_.load(std::memory_order_acquire);
+    if (s != nullptr) return s;
+    Slot* fresh = new Slot[capacity_];
+    Slot* expected = nullptr;
+    if (slots_.compare_exchange_strong(expected, fresh,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return fresh;
+    }
+    delete[] fresh;  // another recorder won the install race
+    return expected;
+  }
+
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<Slot*> slots_{nullptr};
 };
 
 }  // namespace votm::rac

@@ -77,7 +77,7 @@ struct TxThread {
   // consumed by the view layer for latency histograms.
   std::uint64_t last_tx_cycles = 0;
   std::uint64_t consecutive_aborts = 0;
-  EpochStats* stats = nullptr;  // owning view's counters (may be null)
+  StripedEpochStats* stats = nullptr;  // owning view's counters (may be null)
   Backoff backoff{BackoffPolicy::kNone};
 
   // Rolls back the active transaction and transfers control to the retry

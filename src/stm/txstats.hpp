@@ -4,17 +4,30 @@
 //   CPUcycles_aborted_tx / (CPUcycles_successful_tx * (Q - 1)),
 // where both numerators are accumulated per *view*. Each thread counts
 // cycles between transaction begin and outcome, then flushes into the
-// owning view's EpochStats with relaxed atomics (the counters are
-// statistical; ordering is irrelevant).
+// owning view's stats with relaxed atomics (the counters are statistical;
+// ordering is irrelevant).
+//
+// The per-view accumulator is STRIPED: commit/abort write only the calling
+// thread's own cacheline-aligned stripe, so the accounting never serializes
+// the transactions it measures (a single shared counter cacheline is a
+// contention hot spot of its own at Q = N, exactly the regime where the
+// paper says TM should win). Readers fold the stripes; since every
+// consumer of delta(Q) folds before evaluating Eq. 5, striping cannot
+// change any adaptation decision — only the memory layout of the sums.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "util/cacheline.hpp"
+#include "util/thread_ordinal.hpp"
 
 namespace votm::stm {
 
+using votm::thread_ordinal;
+
+// One stripe: a cacheline of relaxed counters.
 struct alignas(kCacheLine) EpochStats {
   std::atomic<std::uint64_t> aborted_cycles{0};
   std::atomic<std::uint64_t> committed_cycles{0};
@@ -62,6 +75,63 @@ inline StatsSnapshot snapshot(const EpochStats& s) noexcept {
       s.aborts.load(std::memory_order_relaxed),
       s.commits.load(std::memory_order_relaxed),
   };
+}
+
+// Per-view striped accumulator. Writers touch stripes_[ordinal & mask_]
+// only; fold() sums all stripes. Stripe count is rounded up to a power of
+// two and capped at kMaxStripes.
+class StripedEpochStats {
+ public:
+  static constexpr unsigned kMaxStripes = 64;
+
+  // stripes == 0 selects one stripe (the degenerate, pre-striping layout);
+  // callers that know their thread count pass it (View passes N).
+  explicit StripedEpochStats(unsigned stripes = 1) {
+    unsigned want = stripes == 0 ? 1 : stripes;
+    if (want > kMaxStripes) want = kMaxStripes;
+    unsigned pow2 = 1;
+    while (pow2 < want) pow2 <<= 1;
+    mask_ = pow2 - 1;
+    stripes_ = std::make_unique<EpochStats[]>(pow2);
+  }
+
+  unsigned stripe_count() const noexcept { return mask_ + 1; }
+
+  void add_abort(std::uint64_t cycles) noexcept { stripe().add_abort(cycles); }
+  void add_commit(std::uint64_t cycles) noexcept {
+    stripe().add_commit(cycles);
+  }
+
+  StatsSnapshot fold() const noexcept {
+    StatsSnapshot total;
+    for (unsigned i = 0; i <= mask_; ++i) total += snapshot(stripes_[i]);
+    return total;
+  }
+
+  // Commit + abort event count only (the adaptation-epoch trigger); cheaper
+  // than fold() but still O(stripes) — callers pace how often they ask.
+  std::uint64_t event_count() const noexcept {
+    std::uint64_t events = 0;
+    for (unsigned i = 0; i <= mask_; ++i) {
+      events += stripes_[i].commits.load(std::memory_order_relaxed) +
+                stripes_[i].aborts.load(std::memory_order_relaxed);
+    }
+    return events;
+  }
+
+  void reset() noexcept {
+    for (unsigned i = 0; i <= mask_; ++i) stripes_[i].reset();
+  }
+
+ private:
+  EpochStats& stripe() noexcept { return stripes_[thread_ordinal() & mask_]; }
+
+  unsigned mask_ = 0;
+  std::unique_ptr<EpochStats[]> stripes_;
+};
+
+inline StatsSnapshot snapshot(const StripedEpochStats& s) noexcept {
+  return s.fold();
 }
 
 }  // namespace votm::stm

@@ -1,0 +1,60 @@
+// Asymmetric memory fence (Linux membarrier).
+//
+// Protocol for a hot path that must stay fence-free against a rare slow
+// path (the classic ingress/egress counter pattern):
+//
+//   fast side:  store A; atomic_signal_fence(seq_cst); load B
+//   slow side:  store B; asymmetric_fence_heavy(); load A
+//
+// The signal fence is compiler-only (zero instructions); the heavy side's
+// membarrier(PRIVATE_EXPEDITED) interposes a full barrier in every running
+// thread of the process, which also squashes speculatively executed loads
+// that have not retired. After the heavy fence returns, for each fast-side
+// thread either its `store A` is visible to the slow side's `load A`, or
+// its `load B` observes the slow side's `store B` — the store-load race
+// that would otherwise require a seq_cst fence per fast-path operation is
+// resolved by the slow side alone.
+//
+// If registration fails (non-Linux, old kernel, blocked syscall), callers
+// MUST NOT run the fence-free fast path: check asymmetric_fence_available()
+// once and fall back to a fenced/CAS protocol.
+#pragma once
+
+#include <atomic>
+
+#ifdef __linux__
+#include <linux/membarrier.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace votm {
+
+// One-time process registration for expedited membarrier. Safe to call
+// from multiple threads; only the first call does the syscall.
+inline bool asymmetric_fence_available() noexcept {
+#if defined(__linux__) && defined(__NR_membarrier)
+  static const bool ok = [] {
+    return syscall(__NR_membarrier,
+                   MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED, 0, 0) == 0;
+  }();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+// Slow-side barrier. Falls back to a seq_cst fence when membarrier is
+// unavailable — NOT a substitute for the asymmetric protocol (see header
+// comment); the fallback only keeps this call well-defined.
+inline void asymmetric_fence_heavy() noexcept {
+#if defined(__linux__) && defined(__NR_membarrier)
+  if (asymmetric_fence_available()) {
+    syscall(__NR_membarrier, MEMBARRIER_CMD_PRIVATE_EXPEDITED, 0, 0);
+    return;
+  }
+#endif
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+}  // namespace votm

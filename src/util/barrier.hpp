@@ -1,8 +1,17 @@
-// Sense-reversing thread barrier for benchmark start lines.
+// Generation-counted (sense-reversing) thread barrier for benchmark phases.
 //
 // std::barrier exists in C++20 but spins; benchmark threads here may be
 // heavily oversubscribed (the paper runs N = 16 threads and this host may
 // have a single core), so the barrier must block, not spin.
+//
+// The barrier is safely REUSABLE across phases: each rendezvous increments
+// the generation counter, and a waiter only sleeps while the generation it
+// arrived in is still current. A thread from phase k that is descheduled
+// across the wake-up cannot be trapped by phase k+1 re-arming the barrier
+// (waiting_ is reset by the last arriver of each generation, before anyone
+// from the next generation can be released to arrive again). The multi-
+// phase admission bench (bench/micro_admission) reuses one barrier for
+// every impl x threads x quota cell.
 #pragma once
 
 #include <condition_variable>
@@ -15,22 +24,36 @@ class StartBarrier {
  public:
   explicit StartBarrier(std::size_t parties) : parties_(parties) {}
 
-  void arrive_and_wait() {
+  StartBarrier(const StartBarrier&) = delete;
+  StartBarrier& operator=(const StartBarrier&) = delete;
+
+  // Returns true for exactly one thread per generation (the last arriver),
+  // which benchmark phases use to elect a coordinator without extra state.
+  bool arrive_and_wait() {
     std::unique_lock<std::mutex> lk(mu_);
     const std::size_t my_generation = generation_;
     if (++waiting_ == parties_) {
       waiting_ = 0;
       ++generation_;
       cv_.notify_all();
-      return;
+      return true;
     }
     cv_.wait(lk, [&] { return generation_ != my_generation; });
+    return false;
   }
 
+  // Completed rendezvous count; monotonic, one per phase.
+  std::size_t generation() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return generation_;
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::size_t parties_;
+  const std::size_t parties_;
   std::size_t waiting_ = 0;
   std::size_t generation_ = 0;
 };

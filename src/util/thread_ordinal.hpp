@@ -1,0 +1,17 @@
+// Small dense thread ordinal (0, 1, 2, ...). Process-wide: a thread keeps
+// its ordinal for its lifetime, so any ordinal-indexed structure (stats
+// stripes, admission slots) sees a stable index per thread.
+#pragma once
+
+#include <atomic>
+
+namespace votm {
+
+inline unsigned thread_ordinal() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace votm

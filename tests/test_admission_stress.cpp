@@ -1,0 +1,184 @@
+// Stress tests for the admission controller's lock-free fast path, run
+// against BOTH implementations (the packed-word atomic gate and the legacy
+// mutex gate must satisfy the same contract). Built for TSan: configure
+// with -DVOTM_SANITIZE=thread and run the `stress` ctest label.
+//
+// Invariants checked under churn with a concurrent quota mutator:
+//   - the number of threads inside the view never exceeds the quota bound
+//     (max_threads here; instantaneous quota can be below the resident
+//     count only transiently, by the documented lazy-lowering rule),
+//   - a thread admitted in lock mode (observed quota == 1) is alone inside,
+//     and no lock-mode holder coexists with a transactional admission,
+//   - pause() returns only once the view is empty,
+//   - raising the quota from 1 blocks until the lock-mode holder drains,
+//   - after all workers join, admits == leaves and admitted() == 0.
+//
+// Violations are counted in atomics and asserted once at the end: gtest
+// EXPECT_* is not thread-safe, and a counter keeps the hot loop cheap
+// enough to stress the admission word rather than the test harness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "rac/admission.hpp"
+#include "util/barrier.hpp"
+#include "util/rng.hpp"
+
+namespace votm::rac {
+namespace {
+
+class AdmissionStress : public ::testing::TestWithParam<AdmissionImpl> {};
+
+TEST_P(AdmissionStress, ChurnKeepsInvariants) {
+  constexpr unsigned kThreads = 8;
+  constexpr int kCycles = 100000;
+  AdmissionController ac(kThreads, kThreads, GetParam());
+
+  std::atomic<int> inside{0};
+  std::atomic<int> lock_holders{0};
+  std::atomic<std::uint64_t> admits{0};
+  std::atomic<std::uint64_t> leaves{0};
+  std::atomic<int> bound_violations{0};
+  std::atomic<int> lock_violations{0};
+  std::atomic<int> pause_violations{0};
+  std::atomic<unsigned> workers_done{0};
+  StartBarrier start(kThreads + 1);
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Xoshiro256 rng(t + 1);
+      start.arrive_and_wait();
+      for (int i = 0; i < kCycles; ++i) {
+        unsigned q = 0;
+        if (rng.below(8) == 0) {
+          if (!ac.try_admit(&q)) continue;
+        } else {
+          q = ac.admit();
+        }
+        // inside is bumped after admit returns and dropped before leave,
+        // so inside <= held admissions at every instant; the checks below
+        // can under-report overlap but never report one that didn't exist.
+        const int now = inside.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (now > static_cast<int>(kThreads)) {
+          bound_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (q == 1) {
+          // Lock mode: admitted at P == 0, and raising from Q = 1 drains
+          // first, so nobody else can be inside for our whole stay.
+          if (now != 1) lock_violations.fetch_add(1, std::memory_order_relaxed);
+          lock_holders.fetch_add(1, std::memory_order_acq_rel);
+        } else if (lock_holders.load(std::memory_order_acquire) != 0) {
+          lock_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        admits.fetch_add(1, std::memory_order_relaxed);
+        if (q == 1) lock_holders.fetch_sub(1, std::memory_order_acq_rel);
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+        leaves.fetch_add(1, std::memory_order_relaxed);
+        ac.leave();
+      }
+      workers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // Quota mutator: cycles lock mode / low / full quota while the workers
+  // churn, and periodically pauses to check the drain protocol.
+  std::thread mutator([&] {
+    const unsigned quotas[] = {1, 2, kThreads, kThreads};
+    unsigned k = 0;
+    while (workers_done.load(std::memory_order_acquire) < kThreads) {
+      ac.set_quota(quotas[k % 4]);
+      if (++k % 16 == 0) {
+        ac.pause();
+        if (inside.load(std::memory_order_acquire) != 0) {
+          pause_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        ac.resume();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ac.set_quota(kThreads);
+  });
+
+  start.arrive_and_wait();
+  for (auto& th : pool) th.join();
+  mutator.join();
+
+  EXPECT_EQ(bound_violations.load(), 0);
+  EXPECT_EQ(lock_violations.load(), 0);
+  EXPECT_EQ(pause_violations.load(), 0);
+  EXPECT_EQ(admits.load(), leaves.load());
+  EXPECT_EQ(inside.load(), 0);
+  EXPECT_EQ(ac.admitted(), 0u);
+}
+
+TEST_P(AdmissionStress, RaiseFromLockModeBlocksUntilDrain) {
+  AdmissionController ac(4, 1, GetParam());
+  ASSERT_EQ(ac.admit(), 1u);
+  std::atomic<bool> raised{false};
+  std::thread raiser([&] {
+    ac.set_quota(4);
+    raised.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(raised.load(std::memory_order_acquire));
+  ac.leave();
+  raiser.join();
+  EXPECT_TRUE(raised.load());
+  EXPECT_EQ(ac.quota(), 4u);
+  EXPECT_EQ(ac.admitted(), 0u);
+}
+
+TEST_P(AdmissionStress, PauseWaitsForResidents) {
+  constexpr unsigned kN = 4;
+  AdmissionController ac(kN, kN, GetParam());
+  std::atomic<int> inside{0};
+  std::atomic<bool> release{false};
+  StartBarrier ready(kN);  // 3 residents + main
+
+  std::vector<std::thread> residents;
+  for (unsigned i = 0; i < kN - 1; ++i) {
+    residents.emplace_back([&] {
+      ac.admit();
+      inside.fetch_add(1, std::memory_order_acq_rel);
+      ready.arrive_and_wait();
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      inside.fetch_sub(1, std::memory_order_acq_rel);
+      ac.leave();
+    });
+  }
+  ready.arrive_and_wait();
+  EXPECT_EQ(ac.admitted(), kN - 1);
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    release.store(true, std::memory_order_release);
+  });
+  ac.pause();  // must block until every resident has left
+  EXPECT_EQ(inside.load(), 0);
+  EXPECT_EQ(ac.admitted(), 0u);
+  EXPECT_FALSE(ac.try_admit());  // paused gate rejects new admissions
+  ac.resume();
+  EXPECT_TRUE(ac.try_admit());
+  ac.leave();
+
+  releaser.join();
+  for (auto& t : residents) t.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, AdmissionStress,
+    ::testing::Values(AdmissionImpl::kAtomic, AdmissionImpl::kMutex),
+    [](const ::testing::TestParamInfo<AdmissionImpl>& info) {
+      return info.param == AdmissionImpl::kAtomic ? "atomic" : "mutex";
+    });
+
+}  // namespace
+}  // namespace votm::rac

@@ -118,16 +118,17 @@ TEST_P(StmBasic, ManyDistinctWritesInOneTransaction) {
 }
 
 TEST_P(StmBasic, StatsAccumulateCommits) {
-  EpochStats stats;
+  StripedEpochStats stats;
   tx_.stats = &stats;
   Word cell = 0;
   for (int i = 0; i < 5; ++i) {
     atomically(*engine_, tx_, [&](TxThread& tx) { engine_->write(tx, &cell, 1); });
   }
   tx_.stats = nullptr;
-  EXPECT_EQ(stats.commits.load(), 5u);
-  EXPECT_EQ(stats.aborts.load(), 0u);
-  EXPECT_GT(stats.committed_cycles.load(), 0u);
+  const StatsSnapshot total = stats.fold();
+  EXPECT_EQ(total.commits, 5u);
+  EXPECT_EQ(total.aborts, 0u);
+  EXPECT_GT(total.committed_cycles, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, StmBasic,

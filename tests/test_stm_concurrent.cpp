@@ -124,7 +124,7 @@ TEST_P(StmConcurrent, SnapshotsAreConsistent) {
 TEST_P(StmConcurrent, AbortAccountingIsConsistent) {
   if (!engine_->speculative()) GTEST_SKIP() << "CGL never aborts";
   constexpr unsigned kThreads = 8;
-  EpochStats stats;
+  StripedEpochStats stats(kThreads);
   Word hot = 0;
   run_threads(kThreads, [&](unsigned, TxThread& tx) {
     tx.stats = &stats;
@@ -134,10 +134,11 @@ TEST_P(StmConcurrent, AbortAccountingIsConsistent) {
       });
     }
   });
+  const StatsSnapshot total = stats.fold();
   EXPECT_EQ(hot, kThreads * 500u);
-  EXPECT_EQ(stats.commits.load(), kThreads * 500u);
-  if (stats.aborts.load() > 0) {
-    EXPECT_GT(stats.aborted_cycles.load(), 0u);
+  EXPECT_EQ(total.commits, kThreads * 500u);
+  if (total.aborts > 0) {
+    EXPECT_GT(total.aborted_cycles, 0u);
   }
 }
 

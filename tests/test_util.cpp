@@ -154,6 +154,36 @@ TEST(BarrierTest, Reusable) {
   t.join();
 }
 
+TEST(BarrierTest, MultiPhaseReuseElectsOneCoordinatorPerPhase) {
+  // Back-to-back generations with no pause between them: a thread
+  // descheduled across the wake-up must not be trapped by the next phase
+  // re-arming the barrier, and exactly one arriver per phase gets `true`.
+  constexpr unsigned kThreads = 4;
+  constexpr int kPhases = 200;
+  StartBarrier barrier(kThreads);
+  std::atomic<int> coordinators{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        if (barrier.arrive_and_wait()) coordinators.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(coordinators.load(), kPhases);
+  EXPECT_EQ(barrier.generation(), static_cast<std::size_t>(kPhases));
+}
+
+TEST(BarrierTest, GenerationCountsCompletedPhases) {
+  StartBarrier barrier(1);  // degenerate: every arrival completes a phase
+  EXPECT_EQ(barrier.generation(), 0u);
+  EXPECT_TRUE(barrier.arrive_and_wait());
+  EXPECT_TRUE(barrier.arrive_and_wait());
+  EXPECT_EQ(barrier.generation(), 2u);
+  EXPECT_EQ(barrier.parties(), 1u);
+}
+
 TEST(HistogramTest, BucketBoundaries) {
   EXPECT_EQ(Log2Histogram::bucket_of(0), 0u);
   EXPECT_EQ(Log2Histogram::bucket_of(1), 0u);
