@@ -1,0 +1,152 @@
+#include "check/explore.hpp"
+
+#if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace votm::check {
+
+namespace {
+
+const char* mode_name(SchedMode m) {
+  switch (m) {
+    case SchedMode::kRandom: return "random";
+    case SchedMode::kPct: return "pct";
+    case SchedMode::kReplay: return "replay";
+  }
+  return "?";
+}
+
+std::string make_repro(const Scenario& scenario, SchedMode mode,
+                       std::uint64_t seed, const std::string& schedule,
+                       const Violation& v) {
+  std::ostringstream os;
+  os << "votm-check repro: scenario=" << scenario.name()
+     << " mode=" << mode_name(mode) << " seed=0x" << std::hex << seed
+     << std::dec << " schedule=" << schedule << " :: " << v.what;
+  return os.str();
+}
+
+// One run; folds the outcome into the report. Returns true when the
+// campaign should stop (violation found).
+bool run_and_fold(Scenario& scenario, const SchedOptions& opts,
+                  std::uint64_t campaign_seed, ExploreReport& report,
+                  SchedResult* out = nullptr) {
+  Scenario::Outcome o = scenario.run_once(opts);
+  ++report.runs;
+  if (o.sched.step_limit_hit) ++report.step_limit_hits;
+  if (out != nullptr) *out = o.sched;
+  if (o.violation) {
+    report.violation = std::move(o.violation);
+    report.schedule = o.sched.schedule_hex();
+    report.repro = make_repro(scenario, opts.mode, campaign_seed,
+                              report.schedule, *report.violation);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreReport explore_random(Scenario& scenario, std::size_t schedules,
+                             std::uint64_t seed0, std::uint64_t max_steps) {
+  ExploreReport report;
+  SplitMix64 seeds(seed0);
+  for (std::size_t i = 0; i < schedules; ++i) {
+    SchedOptions opts;
+    opts.mode = SchedMode::kRandom;
+    opts.seed = seeds.next();
+    opts.max_steps = max_steps;
+    if (run_and_fold(scenario, opts, opts.seed, report)) break;
+  }
+  return report;
+}
+
+ExploreReport explore_pct(Scenario& scenario, std::size_t schedules,
+                          std::uint64_t seed0, unsigned depth,
+                          std::uint64_t max_steps) {
+  ExploreReport report;
+  SplitMix64 seeds(seed0);
+  for (std::size_t i = 0; i < schedules; ++i) {
+    SchedOptions opts;
+    opts.mode = SchedMode::kPct;
+    opts.seed = seeds.next();
+    opts.pct_depth = depth;
+    opts.max_steps = max_steps;
+    if (run_and_fold(scenario, opts, opts.seed, report)) break;
+  }
+  return report;
+}
+
+ExploreReport explore_exhaustive(Scenario& scenario, std::size_t max_runs,
+                                 std::uint64_t max_steps) {
+  // Stateless-model-checking DFS: each run replays a forced prefix and
+  // then takes first-eligible choices; the recorded eligible sets give the
+  // backtrack frontier. The next prefix is the deepest decision with an
+  // untried alternative, advanced to that alternative.
+  ExploreReport report;
+  std::vector<std::uint8_t> prefix;
+  for (std::size_t i = 0; i < max_runs; ++i) {
+    SchedOptions opts;
+    opts.mode = SchedMode::kReplay;
+    opts.prefix = prefix;
+    opts.max_steps = max_steps;
+    SchedResult sched;
+    if (run_and_fold(scenario, opts, 0, report, &sched)) return report;
+    if (sched.replay_diverged) {
+      // A forced prefix stopped matching: the scenario is not
+      // schedule-deterministic, which is itself a finding.
+      report.violation =
+          Violation{"exhaustive replay diverged: scenario is not "
+                    "deterministic under its schedule"};
+      report.schedule = sched.schedule_hex();
+      report.repro = make_repro(scenario, SchedMode::kReplay, 0,
+                                report.schedule, *report.violation);
+      return report;
+    }
+
+    // Backtrack: deepest decision with an unexplored sibling.
+    bool advanced = false;
+    for (std::size_t d = sched.choices.size(); d-- > 0;) {
+      const std::vector<std::uint8_t>& el = sched.eligible[d];
+      auto it = std::find(el.begin(), el.end(), sched.choices[d]);
+      const std::size_t pos = static_cast<std::size_t>(it - el.begin());
+      if (pos + 1 < el.size()) {
+        prefix.assign(sched.choices.begin(),
+                      sched.choices.begin() + static_cast<std::ptrdiff_t>(d));
+        prefix.push_back(el[pos + 1]);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      report.exhausted = true;
+      return report;
+    }
+  }
+  return report;
+}
+
+ExploreReport replay_schedule(Scenario& scenario,
+                              const std::string& schedule_hex,
+                              std::uint64_t max_steps) {
+  ExploreReport report;
+  auto prefix = schedule_from_hex(schedule_hex);
+  if (!prefix) {
+    report.violation = Violation{"malformed schedule hex: " + schedule_hex};
+    return report;
+  }
+  SchedOptions opts;
+  opts.mode = SchedMode::kReplay;
+  opts.prefix = std::move(*prefix);
+  opts.max_steps = max_steps;
+  run_and_fold(scenario, opts, 0, report);
+  return report;
+}
+
+}  // namespace votm::check
+
+#endif  // VOTM_SCHED_POINTS

@@ -1,0 +1,67 @@
+// Schedule-exploration driver for votm-check.
+//
+// Three exploration strategies over a Scenario (scenarios.hpp):
+//   explore_random     - N independent seeded random walks; seed i derives
+//                        from seed0 via SplitMix64, so one 64-bit number
+//                        names the whole campaign;
+//   explore_pct        - N PCT priority schedules (depth d), the strategy
+//                        with a probabilistic guarantee for depth-d bugs;
+//   explore_exhaustive - stateless-model-checking DFS: replay a forced
+//                        choice prefix, record the eligible set at every
+//                        decision, backtrack over the last unexplored
+//                        alternative. Complete for scenarios whose schedule
+//                        tree fits the run budget (exhausted == true).
+//   replay_schedule    - run one exact schedule (from a repro line).
+//
+// The first violation stops the campaign and is reported with a one-line
+// reproducer:
+//
+//   votm-check repro: scenario=<name> mode=<mode> seed=0x<seed>
+//       schedule=<hex> :: <violation>
+//
+// Replaying needs only the schedule= field (the choice sequence pins the
+// run exactly); seed= documents which walk found it.
+#pragma once
+
+#include "check/scenarios.hpp"
+
+#if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace votm::check {
+
+struct ExploreReport {
+  std::size_t runs = 0;            // schedules actually executed
+  bool exhausted = false;          // exhaustive: the full tree was covered
+  std::size_t step_limit_hits = 0; // runs detached by the step budget
+  std::optional<Violation> violation;  // first violation, if any
+  std::string schedule;            // hex schedule of the failing run
+  std::string repro;               // one-line reproducer (empty if clean)
+
+  bool clean() const noexcept { return !violation.has_value(); }
+};
+
+ExploreReport explore_random(Scenario& scenario, std::size_t schedules,
+                             std::uint64_t seed0,
+                             std::uint64_t max_steps = 200000);
+
+ExploreReport explore_pct(Scenario& scenario, std::size_t schedules,
+                          std::uint64_t seed0, unsigned depth = 3,
+                          std::uint64_t max_steps = 200000);
+
+// Bounded DFS over the schedule tree; stops early (exhausted == false)
+// after max_runs schedules.
+ExploreReport explore_exhaustive(Scenario& scenario, std::size_t max_runs,
+                                 std::uint64_t max_steps = 200000);
+
+// Replays the exact choice sequence of a previous run.
+ExploreReport replay_schedule(Scenario& scenario,
+                              const std::string& schedule_hex,
+                              std::uint64_t max_steps = 200000);
+
+}  // namespace votm::check
+
+#endif  // VOTM_SCHED_POINTS

@@ -1,0 +1,145 @@
+#include "check/oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace votm::check {
+
+void HistoryRecorder::begin(unsigned thread) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TxRecord& r = active_[thread];
+  r = TxRecord{};
+  r.thread = thread;
+  r.begin_commits = writer_commits_;
+}
+
+void HistoryRecorder::read(unsigned thread, unsigned var, stm::Word value,
+                           bool own) {
+  std::lock_guard<std::mutex> lk(mu_);
+  active_[thread].reads.push_back(ReadEvent{var, value, own});
+}
+
+void HistoryRecorder::write(unsigned thread, unsigned var, stm::Word value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  active_[thread].writes.emplace_back(var, value);
+}
+
+void HistoryRecorder::commit(unsigned thread) {
+  std::lock_guard<std::mutex> lk(mu_);
+  TxRecord& r = active_[thread];
+  r.committed = true;
+  r.writer = !r.writes.empty();
+  if (r.writer) r.commit_pos = writer_commits_++;
+  done_.push_back(r);
+  ++commits_;
+}
+
+void HistoryRecorder::abort(unsigned thread) {
+  std::lock_guard<std::mutex> lk(mu_);
+  done_.push_back(active_[thread]);
+  ++aborts_;
+}
+
+namespace {
+
+std::string describe(const TxRecord& r) {
+  std::ostringstream os;
+  os << (r.committed ? (r.writer ? "committed writer" : "committed read-only")
+                     : "aborted")
+     << " tx on thread " << r.thread << " [reads:";
+  for (const ReadEvent& e : r.reads) {
+    os << " v" << e.var << "=" << e.value << (e.own ? "(own)" : "");
+  }
+  os << "; writes:";
+  for (const auto& [var, value] : r.writes) os << " v" << var << "=" << value;
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<Violation> check_opacity(
+    const std::vector<TxRecord>& records, const std::vector<stm::Word>& initial,
+    const std::vector<stm::Word>& final_memory) {
+  // Committed writers in record (= serialization) order.
+  std::vector<const TxRecord*> writers;
+  for (const TxRecord& r : records) {
+    if (r.committed && r.writer) writers.push_back(&r);
+  }
+  std::sort(writers.begin(), writers.end(),
+            [](const TxRecord* a, const TxRecord* b) {
+              return a->commit_pos < b->commit_pos;
+            });
+
+  // states[k] = memory after the first k committed writers.
+  std::vector<std::vector<stm::Word>> states;
+  states.push_back(initial);
+  for (const TxRecord* w : writers) {
+    states.push_back(states.back());
+    for (const auto& [var, value] : w->writes) states.back()[var] = value;
+  }
+
+  if (states.back() != final_memory) {
+    std::ostringstream os;
+    os << "write-back mismatch: final memory differs from the serial replay"
+       << " of " << writers.size() << " committed writers (";
+    for (std::size_t v = 0; v < final_memory.size(); ++v) {
+      if (final_memory[v] != states.back()[v]) {
+        os << " v" << v << ": memory=" << final_memory[v]
+           << " expected=" << states.back()[v];
+      }
+    }
+    os << " )";
+    return Violation{os.str()};
+  }
+
+  for (const TxRecord& r : records) {
+    // Own-write reads were validated at record time by the scenario; only
+    // shared reads constrain the snapshot.
+    std::vector<const ReadEvent*> shared;
+    for (const ReadEvent& e : r.reads) {
+      if (!e.own) shared.push_back(&e);
+    }
+    if (shared.empty()) continue;
+
+    const std::size_t lo = r.begin_commits;
+    std::size_t hi = states.size() - 1;
+    bool pinned = false;
+    std::size_t pin = 0;
+    if (r.committed && r.writer) {
+      // A committed writer serializes at its commit: its reads must see
+      // the state just before its own writes apply, or an interleaved
+      // writer's update was lost.
+      pinned = true;
+      pin = r.commit_pos;  // state index before writer commit_pos applies
+    }
+
+    auto matches = [&](std::size_t k) {
+      for (const ReadEvent* e : shared) {
+        if (states[k][e->var] != e->value) return false;
+      }
+      return true;
+    };
+
+    bool ok = false;
+    if (pinned) {
+      ok = pin >= lo && matches(pin);
+    } else {
+      for (std::size_t k = lo; k <= hi && !ok; ++k) ok = matches(k);
+    }
+    if (!ok) {
+      std::ostringstream os;
+      os << "opacity violation: no consistent snapshot for " << describe(r);
+      if (pinned) {
+        os << " (writer pinned to snapshot " << pin << ", begin lower bound "
+           << lo << ")";
+      } else {
+        os << " (searched snapshots " << lo << ".." << hi << ")";
+      }
+      return Violation{os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace votm::check

@@ -1,0 +1,449 @@
+#include "check/scenarios.hpp"
+
+#if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+#include "rac/admission.hpp"
+#include "util/rng.hpp"
+
+namespace votm::check {
+
+namespace {
+
+// Expands (scenario seed, thread, tx index) into an attempt-stable stream
+// seed: every retry of the same logical transaction replays the identical
+// op sequence, so the workload is a function of the schedule alone.
+std::uint64_t stream_seed(std::uint64_t seed, unsigned thread, unsigned tx) {
+  SplitMix64 sm(seed ^ (std::uint64_t{thread} * 0x9e3779b97f4a7c15ULL) ^
+                (std::uint64_t{tx} * 0xc2b2ae3d27d4eb4fULL));
+  return sm.next();
+}
+
+// First-violation-wins sink, safe in the free-run fallback.
+class ViolationSink {
+ public:
+  void note(std::string what) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!violation_) violation_ = Violation{std::move(what)};
+  }
+  void note(std::optional<Violation> v) {
+    if (v) note(std::move(v->what));
+  }
+  std::optional<Violation> take() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return std::move(violation_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::optional<Violation> violation_;
+};
+
+// Commit epilogue mirroring stm::atomically (the scenarios drive engines
+// directly so each attempt can be recorded).
+void finish_commit(stm::TxThread& tx) {
+  tx.last_tx_cycles = stm::tx_elapsed_cycles(tx);
+  tx.in_tx = false;
+  tx.engine = nullptr;
+  tx.consecutive_aborts = 0;
+  tx.backoff.reset();
+}
+
+// Per-attempt own-write tracking: a read satisfied from the transaction's
+// own write set must return exactly the value it wrote, checked right here
+// at record time (the oracle only reasons about shared reads).
+class OwnWrites {
+ public:
+  void put(unsigned var, stm::Word value) {
+    for (auto& [v, val] : vals_) {
+      if (v == var) {
+        val = value;
+        return;
+      }
+    }
+    vals_.emplace_back(var, value);
+  }
+  const stm::Word* find(unsigned var) const {
+    for (const auto& [v, val] : vals_) {
+      if (v == var) return &val;
+    }
+    return nullptr;
+  }
+  void clear() { vals_.clear(); }
+
+ private:
+  std::vector<std::pair<unsigned, stm::Word>> vals_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StmRandomScenario
+// ---------------------------------------------------------------------------
+
+std::string StmRandomScenario::name() const {
+  std::ostringstream os;
+  os << "stm-random/" << stm::to_string(cfg_.algo) << "/t" << cfg_.threads
+     << "v" << cfg_.vars << "x" << cfg_.txs_per_thread << "o"
+     << cfg_.ops_per_tx << "w" << cfg_.write_pct << "s" << cfg_.workload_seed;
+  return os.str();
+}
+
+Scenario::Outcome StmRandomScenario::run_once(const SchedOptions& opts) {
+  auto engine = stm::make_engine(cfg_.algo);
+  std::vector<stm::Word> mem(cfg_.vars, 0);
+  const std::vector<stm::Word> initial = mem;
+  HistoryRecorder rec(cfg_.threads);
+  ViolationSink sink;
+
+  CoopScheduler sched(cfg_.threads, opts);
+  SchedResult res = sched.run([&](unsigned t) {
+    stm::TxThread tx;
+    OwnWrites own;
+    for (unsigned j = 0; j < cfg_.txs_per_thread; ++j) {
+      for (unsigned attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+        Xoshiro256 rng(stream_seed(cfg_.workload_seed, t, j));
+        own.clear();
+        rec.begin(t);
+        tx.read_only = false;
+        engine->begin(tx);
+        try {
+          for (unsigned op = 0; op < cfg_.ops_per_tx; ++op) {
+            const unsigned var =
+                static_cast<unsigned>(rng.below(cfg_.vars));
+            if (rng.below(100) < cfg_.write_pct) {
+              // Unique over (thread, tx, attempt, op) and never the
+              // initial 0, so snapshot matching is unambiguous.
+              const stm::Word value = (stm::Word{t + 1} << 48) |
+                                      (stm::Word{j + 1} << 32) |
+                                      (stm::Word{attempt} << 8) | (op + 1);
+              engine->write(tx, &mem[var], value);
+              rec.write(t, var, value);
+              own.put(var, value);
+            } else {
+              const stm::Word seen = engine->read(tx, &mem[var]);
+              const stm::Word* mine = own.find(var);
+              if (mine != nullptr && *mine != seen) {
+                std::ostringstream os;
+                os << "own-read mismatch: thread " << t << " tx " << j
+                   << " wrote v" << var << "=" << *mine << " but read back "
+                   << seen;
+                sink.note(os.str());
+              }
+              rec.read(t, var, seen, mine != nullptr);
+            }
+          }
+          engine->commit(tx);
+        } catch (const stm::TxConflict&) {
+          rec.abort(t);
+          continue;
+        }
+        finish_commit(tx);
+        rec.commit(t);
+        break;
+      }
+    }
+  });
+
+  for (const std::string& e : res.thread_errors) {
+    sink.note("worker exception: " + e);
+  }
+  sink.note(check_opacity(rec.records(), initial, mem));
+  return Outcome{std::move(res), sink.take()};
+}
+
+// ---------------------------------------------------------------------------
+// StmSnapshotScenario
+// ---------------------------------------------------------------------------
+
+std::string StmSnapshotScenario::name() const {
+  std::ostringstream os;
+  os << "stm-snapshot/" << stm::to_string(cfg_.algo) << "/w" << cfg_.writers
+     << "v" << cfg_.vars << "r" << cfg_.reads_per_reader << "x"
+     << cfg_.txs_per_writer;
+  return os.str();
+}
+
+Scenario::Outcome StmSnapshotScenario::run_once(const SchedOptions& opts) {
+  const unsigned n = cfg_.writers + 1;
+  auto engine = stm::make_engine(cfg_.algo);
+  std::vector<stm::Word> mem(cfg_.vars, 0);
+  const std::vector<stm::Word> initial = mem;
+  HistoryRecorder rec(n);
+  ViolationSink sink;
+
+  CoopScheduler sched(n, opts);
+  SchedResult res = sched.run([&](unsigned t) {
+    stm::TxThread tx;
+    if (t == 0) {
+      // Reader: one read-only transaction sweeps every variable. All
+      // writers write all variables per transaction, so a consistent
+      // snapshot has every variable equal — a torn read set cannot hide.
+      for (unsigned j = 0; j < cfg_.reads_per_reader; ++j) {
+        for (unsigned attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+          rec.begin(0);
+          tx.read_only = true;
+          engine->begin(tx);
+          try {
+            for (unsigned v = 0; v < cfg_.vars; ++v) {
+              const stm::Word seen = engine->read(tx, &mem[v]);
+              rec.read(0, v, seen, false);
+            }
+            engine->commit(tx);
+          } catch (const stm::TxConflict&) {
+            rec.abort(0);
+            continue;
+          }
+          finish_commit(tx);
+          rec.commit(0);
+          break;
+        }
+      }
+    } else {
+      for (unsigned j = 0; j < cfg_.txs_per_writer; ++j) {
+        for (unsigned attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+          const stm::Word value = (stm::Word{t} << 48) |
+                                  (stm::Word{j + 1} << 32) |
+                                  (stm::Word{attempt} << 8) | 1u;
+          rec.begin(t);
+          tx.read_only = false;
+          engine->begin(tx);
+          try {
+            for (unsigned v = 0; v < cfg_.vars; ++v) {
+              engine->write(tx, &mem[v], value);
+              rec.write(t, v, value);
+            }
+            engine->commit(tx);
+          } catch (const stm::TxConflict&) {
+            rec.abort(t);
+            continue;
+          }
+          finish_commit(tx);
+          rec.commit(t);
+          break;
+        }
+      }
+    }
+  });
+
+  for (const std::string& e : res.thread_errors) {
+    sink.note("worker exception: " + e);
+  }
+  sink.note(check_opacity(rec.records(), initial, mem));
+  return Outcome{std::move(res), sink.take()};
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionChurnScenario
+// ---------------------------------------------------------------------------
+
+AdmissionChurnConfig default_admission_churn(unsigned workers) {
+  AdmissionChurnConfig c;
+  c.workers = workers;
+  c.max_threads = workers;
+  c.initial_quota = workers;  // open-mode eligible on membarrier hosts
+  using Op = AdmissionChurnStep::Op;
+  c.program = {
+      // Close the open gate with residents inside: DRAIN + RESIDUE path.
+      {Op::kSetQuota, workers > 2 ? workers - 1 : 2},
+      // Into lock mode, then raise back out (the raise-from-1 drain).
+      {Op::kSetQuota, 1},
+      {Op::kSetQuota, workers},
+      // Full quiesce.
+      {Op::kPause, 0},
+  };
+  return c;
+}
+
+std::string AdmissionChurnScenario::name() const {
+  std::ostringstream os;
+  os << "adm-churn/w" << cfg_.workers << "n" << cfg_.max_threads << "q"
+     << cfg_.initial_quota << "r" << cfg_.rounds << "p"
+     << cfg_.program.size();
+  return os.str();
+}
+
+Scenario::Outcome AdmissionChurnScenario::run_once(const SchedOptions& opts) {
+  // kAtomic only: the scenario explores the packed-word protocol. (The
+  // legacy mutex gate blocks inside std::condition_variable, which the
+  // cooperative scheduler cannot intercept.)
+  rac::AdmissionController ac(cfg_.max_threads, cfg_.initial_quota,
+                              rac::AdmissionImpl::kAtomic);
+  ViolationSink sink;
+  std::atomic<int> inside{0};       // residents by our own bookkeeping
+  std::atomic<int> lock_inside{0};  // residents admitted at quota 1
+  const unsigned mutator = cfg_.workers;  // thread index of the mutator
+
+  CoopScheduler sched(cfg_.workers + 1, opts);
+  SchedResult res = sched.run([&](unsigned t) {
+    if (t == mutator) {
+      for (const AdmissionChurnStep& step : cfg_.program) {
+        if (step.op == AdmissionChurnStep::Op::kSetQuota) {
+          ac.set_quota(step.quota);
+          const unsigned clamped =
+              std::min(std::max(step.quota, 1u), cfg_.max_threads);
+          if (ac.quota() != clamped) {
+            std::ostringstream os;
+            os << "set_quota(" << step.quota << ") left quota "
+               << ac.quota() << " (expected " << clamped << ")";
+            sink.note(os.str());
+          }
+        } else {
+          ac.pause();
+          // pause() contract: the view is quiescent. Our own resident
+          // count was decremented before each leave(), so a drained
+          // ledger implies it is zero as well.
+          if (inside.load(std::memory_order_relaxed) != 0) {
+            sink.note("pause returned with residents still inside");
+          }
+          if (ac.admitted() != 0) {
+            sink.note("pause returned with a nonzero admission ledger");
+          }
+          ac.resume();
+        }
+      }
+      return;
+    }
+    for (unsigned r = 0; r < cfg_.rounds; ++r) {
+      unsigned q = 0;
+      if (cfg_.try_admit_every != 0 &&
+          (r % cfg_.try_admit_every) == cfg_.try_admit_every - 1) {
+        if (!ac.try_admit(&q)) continue;
+      } else {
+        q = ac.admit();
+      }
+      // No sched point between the grant and these checks: the counts are
+      // read in the same scheduled step the grant completed in.
+      const int now = inside.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (now > static_cast<int>(q)) {
+        std::ostringstream os;
+        os << "admission granted with " << now
+           << " residents against quota snapshot " << q;
+        sink.note(os.str());
+      }
+      if (q == 1) {
+        if (lock_inside.fetch_add(1, std::memory_order_relaxed) != 0) {
+          sink.note("two lock-mode (quota 1) holders inside at once");
+        }
+      } else if (lock_inside.load(std::memory_order_relaxed) != 0) {
+        sink.note("transactional admission overlaps a lock-mode holder");
+      }
+      // Linger across one scheduling decision so residency overlaps other
+      // threads' admission attempts and the mutator's transitions.
+      sched_point(SchedPointId::kAdmWait);
+      if (q == 1) lock_inside.fetch_sub(1, std::memory_order_relaxed);
+      inside.fetch_sub(1, std::memory_order_relaxed);
+      ac.leave();
+    }
+  });
+
+  for (const std::string& e : res.thread_errors) {
+    sink.note("worker exception: " + e);
+  }
+  if (inside.load() != 0) {
+    sink.note("residents count nonzero after all threads finished");
+  }
+  if (ac.admitted() != 0) {
+    std::ostringstream os;
+    os << "slot ledger not conserved: admitted() == " << ac.admitted()
+       << " after all leaves";
+    sink.note(os.str());
+  }
+  return Outcome{std::move(res), sink.take()};
+}
+
+// ---------------------------------------------------------------------------
+// ViewStatsScenario
+// ---------------------------------------------------------------------------
+
+std::string ViewStatsScenario::name() const {
+  std::ostringstream os;
+  os << "view-stats/" << stm::to_string(cfg_.algo) << "/t" << cfg_.threads
+     << "n" << cfg_.max_threads << "q" << cfg_.fixed_quota << "x"
+     << cfg_.txs_per_thread << "e" << cfg_.throw_every;
+  return os.str();
+}
+
+Scenario::Outcome ViewStatsScenario::run_once(const SchedOptions& opts) {
+  core::ViewConfig vc;
+  vc.algo = cfg_.algo;
+  vc.max_threads = cfg_.max_threads;
+  vc.rac = core::RacMode::kFixed;  // adaptation is cycle-driven, not
+                                   // schedule-determined; pin the quota
+  vc.fixed_quota = cfg_.fixed_quota;
+  vc.initial_bytes = 1 << 16;
+  core::View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { core::vwrite<stm::Word>(cell, 0); });
+
+  ViolationSink sink;
+  std::atomic<std::uint64_t> attempts{0};  // body invocations
+  std::atomic<std::uint64_t> commits{0};   // bodies that committed
+  struct Thrown {};
+
+  CoopScheduler sched(cfg_.threads, opts);
+  SchedResult res = sched.run([&](unsigned t) {
+    for (unsigned j = 0; j < cfg_.txs_per_thread; ++j) {
+      const bool throws = t == 0 && cfg_.throw_every != 0 &&
+                          (j % cfg_.throw_every) == cfg_.throw_every - 1;
+      try {
+        view.execute([&] {
+          attempts.fetch_add(1, std::memory_order_relaxed);
+          core::vadd<stm::Word>(cell, 1);
+          if (throws) throw Thrown{};
+        });
+      } catch (const Thrown&) {
+        continue;  // the view must have aborted + released admission
+      }
+      commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (const std::string& e : res.thread_errors) {
+    sink.note("worker exception: " + e);
+  }
+
+  // The one initialising transaction is part of the books.
+  const std::uint64_t att = attempts.load() + 1;
+  const std::uint64_t com = commits.load() + 1;
+  const stm::Word final_value = core::vread(cell);
+  const stm::StatsSnapshot st = view.stats();
+  if (st.commits != com) {
+    std::ostringstream os;
+    os << "stats conservation: view counted " << st.commits
+       << " commits, scenario observed " << com;
+    sink.note(os.str());
+  }
+  if (st.commits + st.aborts != att) {
+    std::ostringstream os;
+    os << "stats conservation: " << att << " body attempts but commits("
+       << st.commits << ") + aborts(" << st.aborts << ") = "
+       << st.commits + st.aborts
+       << " — an abort path failed to account its event";
+    sink.note(os.str());
+  }
+  // Every committed body did exactly one increment; the initialising tx
+  // wrote 0. Exception and conflict attempts must leave no trace.
+  if (final_value != com - 1) {
+    std::ostringstream os;
+    os << "counter mismatch: " << com - 1 << " committed increments but the "
+       << "cell reads " << final_value;
+    sink.note(os.str());
+  }
+  if (view.admission().admitted() != 0) {
+    sink.note("admission ledger nonzero after quiescence");
+  }
+  return Outcome{std::move(res), sink.take()};
+}
+
+}  // namespace votm::check
+
+#endif  // VOTM_SCHED_POINTS

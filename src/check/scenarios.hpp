@@ -1,0 +1,158 @@
+// Canned multi-threaded scenarios for votm-check.
+//
+// A Scenario owns everything one run needs (fresh engine/view/controller
+// state per run, a deterministic workload derived from a fixed seed) and
+// knows how to judge the run afterwards (opacity oracle, admission
+// invariants, stats conservation). The exploration driver (explore.hpp)
+// calls run_once() with different schedule options — random seeds, PCT
+// priorities, replay prefixes — and every run of a scenario executes the
+// identical logical workload, so a failing schedule is a complete
+// reproducer on its own.
+#pragma once
+
+#include "check/scheduler.hpp"
+
+#if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "check/oracle.hpp"
+#include "stm/factory.hpp"
+
+namespace votm::check {
+
+class Scenario {
+ public:
+  struct Outcome {
+    SchedResult sched;
+    std::optional<Violation> violation;
+  };
+
+  virtual ~Scenario() = default;
+  virtual std::string name() const = 0;
+  virtual Outcome run_once(const SchedOptions& opts) = 0;
+};
+
+// Random mixed read/write transactions over a small word array, run
+// directly on one engine instance; checked with the opacity oracle.
+struct StmRandomConfig {
+  stm::Algo algo = stm::Algo::kNOrec;
+  unsigned threads = 2;
+  unsigned vars = 4;
+  unsigned txs_per_thread = 2;
+  unsigned ops_per_tx = 3;
+  unsigned write_pct = 50;
+  std::uint64_t workload_seed = 42;
+  unsigned max_attempts = 256;  // per transaction; livelock guard
+};
+
+class StmRandomScenario final : public Scenario {
+ public:
+  explicit StmRandomScenario(StmRandomConfig cfg) : cfg_(cfg) {}
+  std::string name() const override;
+  Outcome run_once(const SchedOptions& opts) override;
+
+ private:
+  StmRandomConfig cfg_;
+};
+
+// The classic snapshot-consistency shape: thread 0 repeatedly reads every
+// variable in one read-only transaction while the other threads write ALL
+// variables to a fresh unique value per transaction. Any torn snapshot —
+// e.g. NOrec skipping revalidation between two reads — is an immediate
+// opacity violation.
+struct StmSnapshotConfig {
+  stm::Algo algo = stm::Algo::kNOrec;
+  unsigned writers = 1;
+  unsigned vars = 2;
+  unsigned reads_per_reader = 2;   // read-only transactions by thread 0
+  unsigned txs_per_writer = 2;
+  unsigned max_attempts = 256;
+};
+
+class StmSnapshotScenario final : public Scenario {
+ public:
+  explicit StmSnapshotScenario(StmSnapshotConfig cfg) : cfg_(cfg) {}
+  std::string name() const override;
+  Outcome run_once(const SchedOptions& opts) override;
+
+ private:
+  StmSnapshotConfig cfg_;
+};
+
+// Admission-controller churn: workers admit/leave (a deterministic mix of
+// admit and try_admit) while a mutator thread walks a fixed program of
+// set_quota / pause / resume steps. Checks, exactly at each grant (the
+// cooperative scheduler makes the checks atomic with the grant):
+//   * residents after the grant <= the quota snapshot the grant returned,
+//   * a lock-mode grant (quota snapshot 1) admits an otherwise empty view,
+//     and no transactional grant lands while a lock-mode holder is inside,
+//   * pause() returns only with the view empty (slot ledgers drained),
+//   * after the run: ledger conservation — admitted() == 0, all leaves
+//     matched their admits.
+struct AdmissionChurnStep {
+  enum class Op : std::uint8_t { kSetQuota, kPause } op;
+  unsigned quota = 0;  // kSetQuota argument
+};
+
+struct AdmissionChurnConfig {
+  unsigned workers = 3;
+  unsigned max_threads = 3;
+  unsigned initial_quota = 3;
+  unsigned rounds = 3;          // admissions per worker
+  unsigned try_admit_every = 3; // every k-th round uses try_admit
+  std::vector<AdmissionChurnStep> program;  // mutator steps, in order
+};
+
+// The default mutator program: open-mode close (set_quota away from N with
+// residents inside, exercising DRAIN+RESIDUE), lock mode and back (drain
+// protocols), and a pause/resume quiesce.
+AdmissionChurnConfig default_admission_churn(unsigned workers);
+
+class AdmissionChurnScenario final : public Scenario {
+ public:
+  explicit AdmissionChurnScenario(AdmissionChurnConfig cfg)
+      : cfg_(std::move(cfg)) {}
+  std::string name() const override;
+  Outcome run_once(const SchedOptions& opts) override;
+
+ private:
+  AdmissionChurnConfig cfg_;
+};
+
+// Full View-layer scenario: threads increment a shared counter through
+// View::execute under a fixed quota; thread 0 optionally throws a user
+// exception out of some transactions. Oracles: the counter is exact, the
+// view's epoch stats conserve events (commits == recorded commits, aborts
+// == body attempts - commits — this is what catches an exception-path
+// that forgets to account its abort), and the admission ledger drains to
+// zero.
+struct ViewStatsConfig {
+  stm::Algo algo = stm::Algo::kNOrec;
+  unsigned threads = 3;
+  unsigned max_threads = 3;
+  unsigned fixed_quota = 2;
+  unsigned txs_per_thread = 3;
+  // Thread 0 throws out of every k-th of its transactions (0 = never).
+  // Keep 0 when fixed_quota == 1: CGL applies writes in place, so a
+  // thrown-out-of lock-mode section keeps its increment (mutex semantics)
+  // and the exact-counter oracle would need to model that.
+  unsigned throw_every = 2;
+};
+
+class ViewStatsScenario final : public Scenario {
+ public:
+  explicit ViewStatsScenario(ViewStatsConfig cfg) : cfg_(cfg) {}
+  std::string name() const override;
+  Outcome run_once(const SchedOptions& opts) override;
+
+ private:
+  ViewStatsConfig cfg_;
+};
+
+}  // namespace votm::check
+
+#endif  // VOTM_SCHED_POINTS

@@ -1,0 +1,201 @@
+#include "check/scheduler.hpp"
+
+#if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace votm::check {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}
+
+std::string SchedResult::schedule_hex() const {
+  // One hex digit per choice for up to 16 threads (every scenario here is
+  // far smaller); the digit IS the chosen thread index.
+  std::string out;
+  out.reserve(choices.size());
+  for (std::uint8_t c : choices) out.push_back(kHexDigits[c & 0xF]);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> schedule_from_hex(
+    const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size());
+  for (char ch : hex) {
+    if (ch >= '0' && ch <= '9') {
+      out.push_back(static_cast<std::uint8_t>(ch - '0'));
+    } else if (ch >= 'a' && ch <= 'f') {
+      out.push_back(static_cast<std::uint8_t>(ch - 'a' + 10));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+CoopScheduler::CoopScheduler(unsigned n_threads, SchedOptions options)
+    : n_(n_threads), opts_(std::move(options)), rng_(opts_.seed),
+      ts_(n_threads), hooks_(n_threads) {
+  for (unsigned i = 0; i < n_; ++i) hooks_[i].bind(this, i);
+  if (opts_.mode == SchedMode::kPct) {
+    // Fixed distinct starting priorities (higher wins), then d-1 change
+    // points sampled over the horizon: at change point k the thread
+    // scheduled by that decision drops to a unique low priority, which is
+    // exactly the PCT construction for catching depth-d bugs.
+    prio_.resize(n_);
+    for (unsigned i = 0; i < n_; ++i) prio_[i] = (rng_.next() << 8) | i;
+    const unsigned changes = opts_.pct_depth > 0 ? opts_.pct_depth - 1 : 0;
+    for (unsigned k = 0; k < changes; ++k) {
+      change_at_.push_back(rng_.below(opts_.pct_horizon));
+    }
+    std::sort(change_at_.begin(), change_at_.end());
+  }
+}
+
+void CoopScheduler::park(unsigned idx, SchedPointId id, bool yield_hint) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (free_run_) return;  // detached: points become no-ops
+  ThreadState& me = ts_[idx];
+  me.st = St::kParked;
+  me.point = id;
+  me.yielded = yield_hint;
+  current_ = kNobody;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return current_ == idx || free_run_; });
+  me.st = St::kRunning;
+  me.point = SchedPointId::kCount;
+}
+
+void CoopScheduler::worker_main(unsigned idx,
+                                const std::function<void(unsigned)>& body) {
+  tls_interceptor = &hooks_[idx];
+  // Initial rendezvous: every worker parks before its first instruction,
+  // so the first decision sees the complete eligible set.
+  park(idx, SchedPointId::kCount, false);
+  try {
+    body(idx);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    result_.thread_errors.push_back(std::string("thread ") +
+                                    std::to_string(idx) + ": " + e.what());
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    result_.thread_errors.push_back(std::string("thread ") +
+                                    std::to_string(idx) +
+                                    ": non-std exception");
+  }
+  tls_interceptor = nullptr;
+  std::lock_guard<std::mutex> lk(mu_);
+  ts_[idx].st = St::kDone;
+  if (current_ == idx) current_ = kNobody;
+  cv_.notify_all();
+}
+
+unsigned CoopScheduler::pick(const std::vector<std::uint8_t>& eligible) {
+  switch (opts_.mode) {
+    case SchedMode::kReplay: {
+      if (step_ < opts_.prefix.size()) {
+        const std::uint8_t want = opts_.prefix[step_];
+        if (std::find(eligible.begin(), eligible.end(), want) !=
+            eligible.end()) {
+          return want;
+        }
+        result_.replay_diverged = true;  // fall through to rotation
+      }
+      // Past the prefix (exhaustive DFS continuation): rotate from the last
+      // scheduled thread. A fixed first-eligible rule can livelock — two
+      // spin loops keep clearing each other's yield marks and the fresh
+      // thread that could make progress never reaches the front.
+      for (unsigned d = 1; d <= n_; ++d) {
+        const auto cand = static_cast<std::uint8_t>((last_choice_ + d) % n_);
+        if (std::find(eligible.begin(), eligible.end(), cand) !=
+            eligible.end()) {
+          return cand;
+        }
+      }
+      return eligible.front();
+    }
+    case SchedMode::kPct: {
+      unsigned best = eligible.front();
+      for (std::uint8_t t : eligible) {
+        if (prio_[t] > prio_[best]) best = t;
+      }
+      if (!change_at_.empty() && step_ >= change_at_.front()) {
+        change_at_.erase(change_at_.begin());
+        prio_[best] = next_low_prio_++;
+      }
+      return best;
+    }
+    case SchedMode::kRandom:
+    default:
+      return eligible[rng_.below(eligible.size())];
+  }
+}
+
+SchedResult CoopScheduler::run(const std::function<void(unsigned)>& body) {
+  std::vector<std::thread> pool;
+  pool.reserve(n_);
+  for (unsigned i = 0; i < n_; ++i) {
+    pool.emplace_back([this, i, &body] { worker_main(i, body); });
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      // Wait until nobody is running: every live thread is parked at a
+      // point (or everyone finished). A "running" thread that blocks
+      // outside a sched point would hang here — instrumented slow paths
+      // are written so that cannot happen (see sched_point.hpp).
+      cv_.wait(lk, [&] {
+        if (current_ != kNobody) return false;
+        for (const ThreadState& t : ts_) {
+          if (t.st == St::kRunning || t.st == St::kNotStarted) return false;
+        }
+        return true;
+      });
+
+      std::vector<std::uint8_t> parked;
+      std::vector<std::uint8_t> fresh;  // parked and not yield-deprioritised
+      for (unsigned i = 0; i < n_; ++i) {
+        if (ts_[i].st == St::kParked) {
+          parked.push_back(static_cast<std::uint8_t>(i));
+          if (!ts_[i].yielded) fresh.push_back(static_cast<std::uint8_t>(i));
+        }
+      }
+      if (parked.empty()) break;  // all done
+
+      if (step_ >= opts_.max_steps) {
+        result_.step_limit_hit = true;
+        free_run_ = true;
+        cv_.notify_all();
+        break;
+      }
+
+      const std::vector<std::uint8_t>& eligible =
+          fresh.empty() ? parked : fresh;
+      const unsigned choice = pick(eligible);
+      last_choice_ = choice;
+      result_.choices.push_back(static_cast<std::uint8_t>(choice));
+      result_.eligible.push_back(eligible);
+      ++step_;
+      // Scheduling someone clears every OTHER thread's yield mark: they
+      // get a fresh look once the world may have changed.
+      for (unsigned i = 0; i < n_; ++i) {
+        if (i != choice) ts_[i].yielded = false;
+      }
+      current_ = choice;
+      cv_.notify_all();
+    }
+  }
+
+  for (std::thread& t : pool) t.join();
+  return std::move(result_);
+}
+
+}  // namespace votm::check
+
+#endif  // VOTM_SCHED_POINTS

@@ -1,0 +1,139 @@
+// Deterministic cooperative scheduler for votm-check.
+//
+// Runs N real OS threads but lets exactly ONE execute at a time: every
+// thread parks at each sched point (src/check/sched_point.hpp) and the
+// controller picks which parked thread proceeds. Because context switches
+// happen only at sched points and the handoff goes through a mutex, the
+// execution is sequentially consistent and fully determined by the choice
+// sequence — the same choices replay the same run, byte for byte.
+//
+// Choice strategies:
+//   kRandom  - uniform pick among eligible threads (seeded xoshiro walk);
+//   kPct     - PCT-style priority schedule (Burckhardt et al.): fixed
+//              random priorities, d-1 seeded priority-change points; finds
+//              depth-d ordering bugs with known probability;
+//   kReplay  - follow a recorded/forced choice prefix, then first-eligible
+//              (the building block for exact replay and exhaustive DFS).
+//
+// Fairness: a thread parking at a *yield* point (a wait loop that made no
+// progress) is skipped for one decision unless nothing else is runnable,
+// so spin loops cannot absorb the whole schedule budget. This is the
+// standard reduction for cooperative exploration of spin-wait code: a
+// second consecutive no-op spin of the same thread reaches the same state
+// as one, so nothing reachable is lost.
+//
+// If a run exceeds max_steps (a livelocked scenario, or a bound chosen too
+// small) the scheduler detaches every thread — they free-run under the OS
+// scheduler so the process still terminates — and reports step_limit_hit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/sched_point.hpp"
+#include "util/rng.hpp"
+
+#if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
+
+#include <condition_variable>
+#include <mutex>
+
+namespace votm::check {
+
+enum class SchedMode : std::uint8_t { kRandom, kPct, kReplay };
+
+struct SchedOptions {
+  SchedMode mode = SchedMode::kRandom;
+  std::uint64_t seed = 1;
+  // PCT: number of priority-change points + 1 (the classic depth d), and
+  // the step horizon change points are sampled from.
+  unsigned pct_depth = 3;
+  std::uint64_t pct_horizon = 1024;
+  // Forced choice prefix (kReplay): thread index per decision. After the
+  // prefix the lowest-index eligible thread runs.
+  std::vector<std::uint8_t> prefix;
+  // Decision budget before the run is declared livelocked and detached.
+  std::uint64_t max_steps = 200000;
+};
+
+// One completed run under the controller.
+struct SchedResult {
+  std::vector<std::uint8_t> choices;   // chosen thread per decision
+  // Eligible set at each decision, in index order (for exhaustive DFS).
+  std::vector<std::vector<std::uint8_t>> eligible;
+  bool step_limit_hit = false;
+  bool replay_diverged = false;
+  std::vector<std::string> thread_errors;  // uncaught worker exceptions
+
+  std::string schedule_hex() const;
+};
+
+// Parses a schedule printed by schedule_hex(); nullopt on malformed input.
+std::optional<std::vector<std::uint8_t>> schedule_from_hex(
+    const std::string& hex);
+
+class CoopScheduler {
+ public:
+  CoopScheduler(unsigned n_threads, SchedOptions options);
+
+  // Spawns n_threads workers running body(thread_index) under cooperative
+  // control and returns when all have finished. Must be called from a
+  // thread that is not itself intercepted. Not reusable: one run per
+  // scheduler instance.
+  SchedResult run(const std::function<void(unsigned)>& body);
+
+ private:
+  enum class St : std::uint8_t { kNotStarted, kRunning, kParked, kDone };
+
+  class Hook final : public SchedInterceptor {
+   public:
+    void bind(CoopScheduler* s, unsigned idx) { sched_ = s; idx_ = idx; }
+    void at_point(SchedPointId id, bool yield_hint) override {
+      sched_->park(idx_, id, yield_hint);
+    }
+
+   private:
+    CoopScheduler* sched_ = nullptr;
+    unsigned idx_ = 0;
+  };
+
+  struct ThreadState {
+    St st = St::kNotStarted;
+    bool yielded = false;
+    SchedPointId point = SchedPointId::kCount;
+  };
+
+  void park(unsigned idx, SchedPointId id, bool yield_hint);
+  void worker_main(unsigned idx, const std::function<void(unsigned)>& body);
+  // Controller side: picks the next thread from `eligible`; updates
+  // strategy state. Called with mu_ held.
+  unsigned pick(const std::vector<std::uint8_t>& eligible);
+
+  const unsigned n_;
+  SchedOptions opts_;
+  Xoshiro256 rng_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ThreadState> ts_;
+  std::vector<Hook> hooks_;
+  static constexpr unsigned kNobody = ~0u;
+  unsigned current_ = kNobody;
+  bool free_run_ = false;  // step limit hit: everyone detached
+  std::uint64_t step_ = 0;
+  unsigned last_choice_ = 0;  // replay continuation rotates from here
+
+  // PCT state.
+  std::vector<std::uint64_t> prio_;
+  std::vector<std::uint64_t> change_at_;  // sorted decision indices
+  std::uint64_t next_low_prio_ = 0;
+
+  SchedResult result_;
+};
+
+}  // namespace votm::check
+
+#endif  // VOTM_SCHED_POINTS

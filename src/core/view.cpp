@@ -141,17 +141,33 @@ void View::handle_abort(ThreadCtx& tc) {
 
 void View::abort_for_exception(ThreadCtx& tc) {
   stm::TxThread& tx = tc.tx;
+  const bool was_entered = tc.active_view == this;
   if (tx.in_tx && tx.engine != nullptr) {
     tx.engine->rollback(tx);
     tx.clear_logs();
+    // An exception-killed transaction is an abort like any other: its cycles
+    // are wasted work and belong in the view totals (Eq. 5's aborted-cycles
+    // numerator), not silently dropped.
+    tx.last_tx_cycles = stm::tx_elapsed_cycles(tx);
+    totals_.add_abort(tx.last_tx_cycles);
+    if (config_.collect_latency) abort_latency_.record(tx.last_tx_cycles);
     tx.in_tx = false;
     tx.engine = nullptr;
   }
+  // The retry streak ends here (no retry follows), so the backoff state
+  // must not leak into this thread's next, unrelated transaction.
+  tx.consecutive_aborts = 0;
+  tx.backoff.reset();
   undo_tx_allocs(tc);
   tc.tx_frees.clear();
   tc.active_view = nullptr;
-  if (config_.rac != RacMode::kDisabled) {
-    admission_.leave();
+  // The misuse path has already left the admission controller (and cleared
+  // active_view); a second leave() here would underflow P.
+  if (was_entered) {
+    if (config_.rac != RacMode::kDisabled) {
+      admission_.leave();
+    }
+    note_event(tc);
   }
 }
 

@@ -75,6 +75,9 @@ class View {
   unsigned max_threads() const noexcept { return config_.max_threads; }
   const ViewConfig& config() const noexcept { return config_; }
   stm::TxEngine& engine() noexcept { return *engine_; }
+  const rac::AdmissionController& admission() const noexcept {
+    return admission_;
+  }
 
   // Monotonic whole-run statistics (the tables' #abort / #tx / cycles rows).
   // Folds the per-thread stripes; equal to the old single-counter totals.

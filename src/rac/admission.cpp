@@ -80,6 +80,7 @@ std::uint64_t AdmissionController::stripes_pending() const noexcept {
 bool AdmissionController::try_admit_residue(unsigned* quota_out) {
   std::uint64_t w = state_.load(std::memory_order_acquire);
   while (w & kResidueBit) {
+    VOTM_SCHED_POINT(kAdmResidue);
     if (hard_closed(w)) return false;
     const std::uint64_t pending = stripes_pending();
     if (pending == 0) {
@@ -113,13 +114,35 @@ bool AdmissionController::try_admit_residue(unsigned* quota_out) {
 // until cv_.wait has released mu_ (the notify reaches the sleeping waiter).
 // ---------------------------------------------------------------------------
 
+std::unique_lock<std::mutex> AdmissionController::lock_slow_path() {
+  std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
+  if (votm::check::thread_intercepted()) {
+    while (!lk.try_lock()) {
+      VOTM_SCHED_YIELD_POINT(kAdmWait);
+    }
+  } else {
+    lk.lock();
+  }
+  return lk;
+}
+
 unsigned AdmissionController::admit_contended() {
+  unsigned q = 0;
+  if (votm::check::thread_intercepted()) {
+    // Cooperative harness: the scheduler cannot wake a condvar parker, so
+    // retry through a yield point until a slot frees up. (The scheduler
+    // deprioritises the yielding thread, so this does not starve the
+    // resident whose leave() we are waiting on.)
+    while (!try_admit(&q)) {
+      VOTM_SCHED_YIELD_POINT(kAdmWait);
+    }
+    return q;
+  }
   // Bounded spin-with-backoff: a slot may free up within the budget
   // (another thread's leave() is one plain store or fetch_sub away).
   // Windows grow exponentially so a near-miss retries fast while a full
   // view backs off. try_admit carries the full admission logic (gate-open
   // slots, residue accounting, plain CAS gate).
-  unsigned q = 0;
   unsigned spent = 0;
   unsigned window = 1;
   while (spent < spin_budget_) {
@@ -151,6 +174,11 @@ unsigned AdmissionController::admit_park() {
 }
 
 void AdmissionController::leave_wake(std::uint64_t old_word) {
+  // Under the cooperative harness nobody ever sleeps on cv_ (every wait
+  // loop spins through yield points instead), and hard-blocking on mu_
+  // here could deadlock against a slow-path mutator parked at a sched
+  // point while holding it.
+  if (votm::check::thread_intercepted()) return;
   const bool drained = p_of(old_word) == 1;
   { std::lock_guard<std::mutex> lk(mu_); }  // pair with a parker's re-check
   // A drain waiter (pause / set_quota leaving lock mode) may be parked;
@@ -165,7 +193,7 @@ void AdmissionController::leave_wake(std::uint64_t old_word) {
 
 void AdmissionController::pause() {
   if (impl_ == AdmissionImpl::kMutex) return pause_mutex();
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk = lock_slow_path();
   // Close the gate (PAUSED stops gated admissions; clearing OPEN stops
   // fence-free ones), then heavy-fence: from here on every fence-free
   // admission is either visible in the slot sums below or undoes itself.
@@ -175,6 +203,7 @@ void AdmissionController::pause() {
                                        std::memory_order_acquire)) {
   }
   asymmetric_fence_heavy();
+  VOTM_SCHED_POINT(kAdmPauseClosed);
   state_.fetch_add(kWOne, std::memory_order_relaxed);
   // The acquire load that finally observes P == 0 synchronizes with the
   // last gated leave()'s release decrement, and the poll's acquire reads
@@ -182,7 +211,11 @@ void AdmissionController::pause() {
   // quiescent and all its threads' effects are visible.
   while (p_of(state_.load(std::memory_order_acquire)) != 0 ||
          stripes_pending() != 0) {
-    cv_.wait_for(lk, kDrainPoll);
+    if (votm::check::thread_intercepted()) {
+      VOTM_SCHED_YIELD_POINT(kAdmPauseDrain);
+    } else {
+      cv_.wait_for(lk, kDrainPoll);
+    }
   }
   state_.fetch_sub(kWOne, std::memory_order_relaxed);
 }
@@ -190,7 +223,8 @@ void AdmissionController::pause() {
 void AdmissionController::resume() {
   if (impl_ == AdmissionImpl::kMutex) return resume_mutex();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk = lock_slow_path();
+    VOTM_SCHED_POINT(kAdmResume);
     // Release ordering: an admit that sees the cleared bit (or the OPEN
     // bit) also sees every write made while the view was paused (e.g. the
     // engine swap).
@@ -216,7 +250,8 @@ unsigned AdmissionController::admitted_mutex() const {
 void AdmissionController::set_quota(unsigned q) {
   if (impl_ == AdmissionImpl::kMutex) return set_quota_mutex(q);
   const unsigned clamped = std::clamp(q, 1u, max_threads_);
-  std::unique_lock<std::mutex> lk(mu_);  // serializes slow-path mutators
+  std::unique_lock<std::mutex> lk = lock_slow_path();  // serializes mutators
+  VOTM_SCHED_POINT(kAdmSetQuota);
   std::uint64_t w = state_.load(std::memory_order_acquire);
   bool raised = false;
   bool gate_was_closed = false;
@@ -249,7 +284,11 @@ void AdmissionController::set_quota(unsigned q) {
       state_.fetch_or(kDrainBit, std::memory_order_acq_rel);
       state_.fetch_add(kWOne, std::memory_order_relaxed);
       while (p_of(state_.load(std::memory_order_acquire)) != 0) {
-        cv_.wait(lk);
+        if (votm::check::thread_intercepted()) {
+          VOTM_SCHED_YIELD_POINT(kAdmSetQuotaDrain);
+        } else {
+          cv_.wait(lk);
+        }
       }
       state_.fetch_sub(kWOne, std::memory_order_relaxed);
       w = state_.load(std::memory_order_acquire);

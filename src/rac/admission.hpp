@@ -69,6 +69,7 @@
 #include <memory>
 #include <mutex>
 
+#include "check/sched_point.hpp"
 #include "util/asymmetric_fence.hpp"
 #include "util/cacheline.hpp"
 #include "util/thread_ordinal.hpp"
@@ -108,11 +109,13 @@ class AdmissionController {
       std::uint64_t w = state_.load(std::memory_order_acquire);
       if (w & kOpenBit) {
         if (Slot* s = my_slot()) {
+          VOTM_SCHED_POINT(kAdmSlotEnter);
           if (slot_enter(*s)) return max_threads_;
         }
         w = state_.load(std::memory_order_acquire);
       }
       while (!gate_closed(w) && p_of(w) < q_of(w)) {
+        VOTM_SCHED_POINT(kAdmCas);
         if (state_.compare_exchange_weak(w, w + kPOne,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
@@ -130,6 +133,7 @@ class AdmissionController {
     std::uint64_t w = state_.load(std::memory_order_acquire);
     if (w & kOpenBit) {
       if (Slot* s = my_slot()) {
+        VOTM_SCHED_POINT(kAdmSlotEnter);
         if (slot_enter(*s)) {
           if (quota_out != nullptr) *quota_out = max_threads_;
           return true;
@@ -143,6 +147,7 @@ class AdmissionController {
         return try_admit_residue(quota_out);
       }
       if (p_of(w) >= q_of(w)) return false;
+      VOTM_SCHED_POINT(kAdmCas);
       if (state_.compare_exchange_weak(w, w + kPOne,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
@@ -165,6 +170,7 @@ class AdmissionController {
         const std::uint64_t in = s->in.load(std::memory_order_relaxed);
         const std::uint64_t out = s->out.load(std::memory_order_relaxed);
         if (in != out) {
+          VOTM_SCHED_POINT(kAdmSlotLeave);
           s->out.store(out + 1, std::memory_order_release);
           return;  // drain loops poll with a timeout; no notify needed
         }
@@ -173,6 +179,7 @@ class AdmissionController {
       // this decrement also observes everything this thread did inside the
       // view (the engine-swap safety argument in View::switch_algorithm
       // needs it).
+      VOTM_SCHED_POINT(kAdmLeave);
       const std::uint64_t old =
           state_.fetch_sub(kPOne, std::memory_order_acq_rel);
       if (w_of(old) == 0) return;
@@ -282,6 +289,9 @@ class AdmissionController {
     s.in.store(s.in.load(std::memory_order_relaxed) + 1,
                std::memory_order_release);
     std::atomic_signal_fence(std::memory_order_seq_cst);
+    // The fence-protocol crux: between the in-store above and the OPEN
+    // re-check below a gate closer may run its heavy fence and drain poll.
+    VOTM_SCHED_POINT(kAdmSlotPublished);
     if (state_.load(std::memory_order_acquire) & kOpenBit) return true;
     s.out.store(s.out.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
@@ -299,6 +309,12 @@ class AdmissionController {
     }
     return w;
   }
+
+  // Acquires mu_ for a slow-path mutator (pause/resume/set_quota). Under
+  // the votm-check cooperative harness these paths park at sched points
+  // while holding mu_, so intercepted threads must never hard-block on it:
+  // they spin through a yield point instead.
+  std::unique_lock<std::mutex> lock_slow_path();
 
   // try_admit when the word carries RESIDUE: folds the slot residents into
   // the quota check, and retires the bit once they have all left.

@@ -45,8 +45,7 @@ struct PolicyConfig {
 class AdaptivePolicy {
  public:
   AdaptivePolicy(unsigned max_quota, PolicyConfig config = {})
-      : max_quota_(max_quota), config_(config),
-        bad_until_(levels_for(max_quota) + 1, 0) {}
+      : max_quota_(max_quota), config_(config) {}
 
   unsigned max_quota() const noexcept { return max_quota_; }
 
@@ -64,32 +63,43 @@ class AdaptivePolicy {
     }
     if ((std::isinf(delta) || delta > config_.halve_threshold) &&
         epoch_aborts >= config_.min_halve_aborts) {
-      bad_until_[level_of(q)] = epoch_ + config_.bad_level_memory;
+      mark_bad(q);
       return q / 2;
     }
     if (delta < config_.double_threshold && q < max_quota_) {
       const unsigned next = std::min(q * 2, max_quota_);
-      if (bad_until_[level_of(next)] > epoch_) return q;  // damped
+      if (bad_until(next) > epoch_) return q;  // damped
       return next;
     }
     return q;
   }
 
  private:
-  static unsigned levels_for(unsigned q) noexcept {
-    unsigned levels = 0;
-    while (q > 1) {
-      q /= 2;
-      ++levels;
+  // The bad-level memory is keyed by the exact quota value, not by
+  // log2(quota): with a non-power-of-two max_quota the halving chain visits
+  // quotas like 6 and 4 that share a floor(log2) bucket, and a log2 key
+  // would let a "6 was contended" mark veto doubling back into 4.
+  void mark_bad(unsigned q) noexcept {
+    const std::uint64_t until = epoch_ + config_.bad_level_memory;
+    for (auto& [quota, exp] : bad_) {
+      if (quota == q) {
+        exp = until;
+        return;
+      }
     }
-    return levels;
+    bad_.emplace_back(q, until);
   }
-  unsigned level_of(unsigned q) const noexcept { return levels_for(q); }
+  std::uint64_t bad_until(unsigned q) const noexcept {
+    for (const auto& [quota, exp] : bad_) {
+      if (quota == q) return exp;
+    }
+    return 0;
+  }
 
   unsigned max_quota_;
   PolicyConfig config_;
   std::uint64_t epoch_ = 0;
-  std::vector<std::uint64_t> bad_until_;  // indexed by log2(quota)
+  std::vector<std::pair<unsigned, std::uint64_t>> bad_;  // (quota, expiry)
 };
 
 }  // namespace votm::rac

@@ -1,11 +1,21 @@
 #include "stm/cgl.hpp"
 
+#include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
 namespace votm::stm {
 
 void CglEngine::begin(TxThread& tx) {
-  mu_.lock();
+  if (votm::check::thread_intercepted()) {
+    // Cooperative harness: a parked thread holding mu_ would deadlock any
+    // peer hard-blocked in mu_.lock(), so intercepted threads spin with a
+    // yield point instead of blocking.
+    while (!mu_.try_lock()) {
+      VOTM_SCHED_YIELD_POINT(kCglLock);
+    }
+  } else {
+    mu_.lock();
+  }
   tx.snapshot = 1;  // "holding the view lock" marker for rollback()
   // Accounting starts after acquisition: queueing for the lock is
   // admission time, not transaction time.
@@ -25,6 +35,7 @@ void CglEngine::write(TxThread& tx, Word* addr, Word value) {
 }
 
 void CglEngine::commit(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmCommit);
   tx.snapshot = 0;
   mu_.unlock();
 }

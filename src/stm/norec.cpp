@@ -3,11 +3,13 @@
 #include <stdexcept>
 #include <thread>
 
+#include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
 namespace votm::stm {
 
 void NOrecEngine::begin(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmBegin);
   // Sample a consistent (even) snapshot; a committing writer holds the
   // sequence lock odd only for the duration of its write-back.
   auto& seq = seqlock_.value;
@@ -15,6 +17,7 @@ void NOrecEngine::begin(TxThread& tx) {
   for (;;) {
     tx.snapshot = seq.load(std::memory_order_acquire);
     if ((tx.snapshot & 1) == 0) break;
+    VOTM_SCHED_YIELD_POINT(kStmWaitSeq);
     Backoff::cpu_relax();
     if (++spins > 64) {
       std::this_thread::yield();
@@ -25,14 +28,16 @@ void NOrecEngine::begin(TxThread& tx) {
 }
 
 std::uint64_t NOrecEngine::validate(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmValidate);
   auto& seq = seqlock_.value;
   for (;;) {
     std::uint64_t time = seq.load(std::memory_order_acquire);
     if ((time & 1) != 0) {
+      VOTM_SCHED_YIELD_POINT(kStmWaitSeq);
       Backoff::cpu_relax();
       continue;
     }
-    if (!tx.vlog.values_match()) {
+    if (!VOTM_CHECK_FAULT(kNorecSkipValidation) && !tx.vlog.values_match()) {
       tx.conflict(ConflictKind::kValidationFail);
     }
     if (seq.load(std::memory_order_acquire) == time) return time;
@@ -40,11 +45,16 @@ std::uint64_t NOrecEngine::validate(TxThread& tx) {
 }
 
 Word NOrecEngine::read(TxThread& tx, const Word* addr) {
+  VOTM_SCHED_POINT(kStmRead);
   // Reads-after-writes come from the redo log.
   if (const Word* buffered = tx.wset.lookup(const_cast<Word*>(addr))) {
     return *buffered;
   }
   Word value = load_word(addr);
+  // The window this point opens — between the memory load and the
+  // staleness re-check — is exactly where a skipped revalidation turns
+  // into a torn snapshot.
+  VOTM_SCHED_POINT(kStmReadRetry);
   // If anyone committed since our snapshot, the read may be inconsistent
   // with the log: re-validate (value-based) and re-read until stable.
   while (seqlock_.value.load(std::memory_order_acquire) != tx.snapshot) {
@@ -56,6 +66,7 @@ Word NOrecEngine::read(TxThread& tx, const Word* addr) {
 }
 
 void NOrecEngine::write(TxThread& tx, Word* addr, Word value) {
+  VOTM_SCHED_POINT(kStmWrite);
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
@@ -63,6 +74,7 @@ void NOrecEngine::write(TxThread& tx, Word* addr, Word value) {
 }
 
 void NOrecEngine::commit(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmCommit);
   auto& seq = seqlock_.value;
   if (tx.wset.empty()) {
     // Read-only: the incremental validation discipline guarantees the read
@@ -72,14 +84,18 @@ void NOrecEngine::commit(TxThread& tx) {
   }
   // Acquire the sequence lock at our snapshot (value-based revalidation on
   // every interleaved commit).
+  VOTM_SCHED_POINT(kStmCommitLock);
   while (!seq.compare_exchange_strong(tx.snapshot, tx.snapshot + 1,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
     tx.snapshot = validate(tx);
   }
   for (const WriteSet::Entry& e : tx.wset.entries()) {
+    VOTM_SCHED_POINT(kStmCommitWriteback);
     store_word(e.addr, e.value);
   }
+  // No sched point past this release: the publish-to-return window must
+  // stay uninterleaved for the harness's serialization witness.
   seq.store(tx.snapshot + 2, std::memory_order_release);
   tx.clear_logs();
 }

@@ -1,10 +1,12 @@
 #include "stm/orec_eager_redo.hpp"
 
+#include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
 namespace votm::stm {
 
 void OrecEagerRedoEngine::begin(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmBegin);
   tx.start_time = clock_.value.load(std::memory_order_acquire);
   begin_common(tx, this);
 }
@@ -23,6 +25,7 @@ bool OrecEagerRedoEngine::read_log_valid(TxThread& tx,
 }
 
 void OrecEagerRedoEngine::extend(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmValidate);
   // TinySTM-style timestamp extension: if nothing we read changed since
   // start_time, the snapshot can be moved forward to `now`; otherwise the
   // transaction is doomed.
@@ -34,6 +37,7 @@ void OrecEagerRedoEngine::extend(TxThread& tx) {
 }
 
 Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
+  VOTM_SCHED_POINT(kStmRead);
   if (const Word* buffered = tx.wset.lookup(addr)) {
     return *buffered;
   }
@@ -55,6 +59,7 @@ Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
       continue;
     }
     const Word value = load_word(addr);
+    VOTM_SCHED_POINT(kStmReadRetry);
     if (o.load() == before) {
       tx.rlog.push_back(&o);
       return value;
@@ -64,6 +69,7 @@ Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
 }
 
 void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
+  VOTM_SCHED_POINT(kStmWrite);
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
@@ -88,18 +94,26 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
 }
 
 void OrecEagerRedoEngine::commit(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmCommit);
   if (tx.wlocks.empty()) {
     // Read-only transactions are consistent as of start_time by the
     // incremental validation/extension discipline.
     tx.clear_logs();
     return;
   }
+  VOTM_SCHED_POINT(kStmCommitLock);
+  VOTM_SCHED_POINT(kStmCommitWriteback);
   const std::uint64_t end_time =
       clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
   // If anyone committed after we began, the read set must still be valid.
   if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kCommitFail);
   }
+  // No sched point from the ticket to return: the clock ticket is this
+  // engine's serialization point, and the oracle's witness (writer record
+  // order) is only sound if completion order equals ticket order. Writes
+  // are covered by encounter-time locks, so nothing here is observable
+  // anyway until the unlock sweep publishes the versions.
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     store_word(e.addr, e.value);
   }
@@ -110,6 +124,7 @@ void OrecEagerRedoEngine::commit(TxThread& tx) {
 }
 
 void OrecEagerRedoEngine::rollback(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmRollback);
   // Release encounter-time locks, restoring the pre-lock versions; the redo
   // log was never applied, so memory is untouched.
   for (const OwnedOrec& w : tx.wlocks) {

@@ -1,5 +1,6 @@
 #include "stm/orec_eager_undo.hpp"
 
+#include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
 namespace votm::stm {
@@ -9,6 +10,7 @@ namespace votm::stm {
 // The redo-family fields (wset) stay unused.
 
 void OrecEagerUndoEngine::begin(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmBegin);
   tx.start_time = clock_.value.load(std::memory_order_acquire);
   begin_common(tx, this);
 }
@@ -27,6 +29,7 @@ bool OrecEagerUndoEngine::read_log_valid(TxThread& tx,
 }
 
 void OrecEagerUndoEngine::extend(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmValidate);
   const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
@@ -35,6 +38,7 @@ void OrecEagerUndoEngine::extend(TxThread& tx) {
 }
 
 Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
+  VOTM_SCHED_POINT(kStmRead);
   Orec& o = orecs_.for_address(addr);
   for (;;) {
     const Orec::Packed before = o.load();
@@ -51,6 +55,7 @@ Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
       continue;
     }
     const Word value = load_word(addr);
+    VOTM_SCHED_POINT(kStmReadRetry);
     if (o.load() == before) {
       tx.rlog.push_back(&o);
       return value;
@@ -59,6 +64,7 @@ Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
 }
 
 void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
+  VOTM_SCHED_POINT(kStmWrite);
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
@@ -78,23 +84,29 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
       break;
     }
   }
-  // Write-through: save the old value, then update memory in place.
+  // Write-through: save the old value, then update memory in place (the
+  // covering orec is locked by us across this point, so no reader can
+  // observe the speculative store).
+  VOTM_SCHED_POINT(kStmCommitWriteback);
   tx.vlog.push(addr, load_word(addr));
   store_word(addr, value);
 }
 
 void OrecEagerUndoEngine::commit(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmCommit);
   if (tx.wlocks.empty()) {
     tx.clear_logs();
     return;
   }
+  VOTM_SCHED_POINT(kStmCommitLock);
   const std::uint64_t end_time =
       clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
     // conflict() -> rollback() undoes the in-place writes.
     tx.conflict(ConflictKind::kCommitFail);
   }
-  // Memory already holds the final values; just publish the versions.
+  // Memory already holds the final values; just publish the versions. No
+  // sched point from here to return (oracle's serialization witness).
   for (const OwnedOrec& w : tx.wlocks) {
     w.orec->unlock_to_version(end_time);
   }
@@ -102,6 +114,7 @@ void OrecEagerUndoEngine::commit(TxThread& tx) {
 }
 
 void OrecEagerUndoEngine::rollback(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmRollback);
   // Restore memory in reverse write order (later writes undone first, so
   // multiple writes to one address net out to the original value), THEN
   // release the orecs — readers must not see restored values as committed

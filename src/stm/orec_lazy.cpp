@@ -2,11 +2,13 @@
 
 #include <thread>
 
+#include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
 namespace votm::stm {
 
 void OrecLazyEngine::begin(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmBegin);
   tx.start_time = clock_.value.load(std::memory_order_acquire);
   begin_common(tx, this);
 }
@@ -25,6 +27,7 @@ bool OrecLazyEngine::read_log_valid(TxThread& tx,
 }
 
 void OrecLazyEngine::extend(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmValidate);
   const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
@@ -33,6 +36,7 @@ void OrecLazyEngine::extend(TxThread& tx) {
 }
 
 Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
+  VOTM_SCHED_POINT(kStmRead);
   if (const Word* buffered = tx.wset.lookup(addr)) {
     return *buffered;
   }
@@ -45,6 +49,7 @@ Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
       // is short, so wait it out rather than abort. Yield periodically: on
       // an oversubscribed host the committer may be descheduled, and a
       // pure spin would block it for a whole quantum.
+      VOTM_SCHED_YIELD_POINT(kStmWaitOrec);
       Backoff::cpu_relax();
       if (++spins > 64) {
         std::this_thread::yield();
@@ -57,6 +62,7 @@ Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
       continue;
     }
     const Word value = load_word(addr);
+    VOTM_SCHED_POINT(kStmReadRetry);
     if (o.load() == before) {
       tx.rlog.push_back(&o);
       return value;
@@ -65,6 +71,7 @@ Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
 }
 
 void OrecLazyEngine::write(TxThread& tx, Word* addr, Word value) {
+  VOTM_SCHED_POINT(kStmWrite);
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
@@ -72,6 +79,7 @@ void OrecLazyEngine::write(TxThread& tx, Word* addr, Word value) {
 }
 
 void OrecLazyEngine::commit(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmCommit);
   if (tx.wset.empty()) {
     tx.clear_logs();
     return;
@@ -81,6 +89,7 @@ void OrecLazyEngine::commit(TxThread& tx) {
   // releases whatever was acquired so far.
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     Orec& o = orecs_.for_address(e.addr);
+    VOTM_SCHED_POINT(kStmCommitLock);
     for (;;) {
       const Orec::Packed p = o.load();
       if (Orec::is_locked(p)) {
@@ -98,11 +107,17 @@ void OrecLazyEngine::commit(TxThread& tx) {
       }
     }
   }
+  VOTM_SCHED_POINT(kStmCommitWriteback);
   const std::uint64_t end_time =
       clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kCommitFail);
   }
+  // No sched point from the ticket to return: the clock ticket is this
+  // engine's serialization point, and the oracle's witness (writer record
+  // order) is only sound if completion order equals ticket order. The
+  // locked window above (between per-orec acquisitions) still exposes
+  // every reader-vs-locked-orec interleaving.
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     store_word(e.addr, e.value);
   }
@@ -113,6 +128,7 @@ void OrecLazyEngine::commit(TxThread& tx) {
 }
 
 void OrecLazyEngine::rollback(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmRollback);
   for (const OwnedOrec& w : tx.wlocks) {
     w.orec->unlock_to_version(w.old_version);
   }

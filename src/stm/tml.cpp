@@ -3,16 +3,19 @@
 #include <cassert>
 #include <thread>
 
+#include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
 namespace votm::stm {
 
 void TmlEngine::begin(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmBegin);
   auto& seq = seqlock_.value;
   int spins = 0;
   for (;;) {
     tx.snapshot = seq.load(std::memory_order_acquire);
     if ((tx.snapshot & 1) == 0) break;
+    VOTM_SCHED_YIELD_POINT(kStmWaitSeq);
     Backoff::cpu_relax();
     if (++spins > 64) {
       std::this_thread::yield();
@@ -23,11 +26,13 @@ void TmlEngine::begin(TxThread& tx) {
 }
 
 Word TmlEngine::read(TxThread& tx, const Word* addr) {
+  VOTM_SCHED_POINT(kStmRead);
   if (holds_lock(tx)) {
     // We are the exclusive, irrevocable writer; reads are plain.
     return load_word(addr);
   }
   const Word value = load_word(addr);
+  VOTM_SCHED_POINT(kStmReadRetry);
   if (seqlock_.value.load(std::memory_order_acquire) != tx.snapshot) {
     tx.conflict(ConflictKind::kValidationFail);
   }
@@ -35,6 +40,7 @@ Word TmlEngine::read(TxThread& tx, const Word* addr) {
 }
 
 void TmlEngine::write(TxThread& tx, Word* addr, Word value) {
+  VOTM_SCHED_POINT(kStmWrite);
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
@@ -49,10 +55,13 @@ void TmlEngine::write(TxThread& tx, Word* addr, Word value) {
     }
     tx.snapshot += 1;  // odd: we hold the lock
   }
+  VOTM_SCHED_POINT(kStmCommitWriteback);
   store_word(addr, value);
 }
 
 void TmlEngine::commit(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmCommit);
+  // No sched point after the release below (serialization witness rule).
   if (holds_lock(tx)) {
     seqlock_.value.store(tx.snapshot + 1, std::memory_order_release);
   }
@@ -60,6 +69,7 @@ void TmlEngine::commit(TxThread& tx) {
 }
 
 void TmlEngine::rollback(TxThread& tx) {
+  VOTM_SCHED_POINT(kStmRollback);
   // A TML writer is irrevocable: the protocol never calls conflict() after
   // lock acquisition. This path is reachable only when *user code* throws
   // out of a writing transaction; in-place writes cannot be undone, so the

@@ -173,6 +173,156 @@ TEST_P(AdmissionStress, PauseWaitsForResidents) {
   for (auto& t : residents) t.join();
 }
 
+TEST_P(AdmissionStress, SetQuotaDuringOpenModeAccountsResidue) {
+  // Full quota opens the fence-free gate; residents admitted through it
+  // live in per-thread slot ledgers, not in P. Lowering the quota must
+  // close the gate and carry those residents over (the RESIDUE protocol):
+  // they stay visible in admitted() until they leave, and the ledger must
+  // balance back to zero afterwards.
+  constexpr unsigned kN = 4;
+  AdmissionController ac(kN, kN, GetParam());
+  std::atomic<bool> release{false};
+  StartBarrier ready(3);  // 2 residents + main
+
+  std::vector<std::thread> residents;
+  for (int i = 0; i < 2; ++i) {
+    residents.emplace_back([&] {
+      EXPECT_EQ(ac.admit(), kN);
+      ready.arrive_and_wait();
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ac.leave();
+    });
+  }
+  ready.arrive_and_wait();
+  EXPECT_EQ(ac.admitted(), 2u);
+
+  ac.set_quota(2);  // closes the open gate with both residents inside
+  EXPECT_EQ(ac.quota(), 2u);
+  EXPECT_EQ(ac.admitted(), 2u);  // residue still accounted
+  EXPECT_FALSE(ac.try_admit());  // 2 residents == new quota: full
+
+  release.store(true, std::memory_order_release);
+  for (auto& t : residents) t.join();
+  EXPECT_EQ(ac.admitted(), 0u);
+
+  unsigned q = 0;
+  ASSERT_TRUE(ac.try_admit(&q));  // residue retired: gated path again
+  EXPECT_EQ(q, 2u);
+  ac.leave();
+  EXPECT_EQ(ac.admitted(), 0u);
+}
+
+TEST_P(AdmissionStress, NonPowerOfTwoThreadCountChurn) {
+  // N = 6 walks the quota chain 6 -> 3 -> 1 (odd halving steps) and lands
+  // on quotas that alias under a log2 bucketing; the invariants must hold
+  // off the power-of-two grid exactly as on it.
+  constexpr unsigned kThreads = 6;
+  constexpr int kCycles = 20000;
+  AdmissionController ac(kThreads, kThreads, GetParam());
+
+  std::atomic<int> inside{0};
+  std::atomic<int> lock_holders{0};
+  std::atomic<int> bound_violations{0};
+  std::atomic<int> lock_violations{0};
+  std::atomic<unsigned> workers_done{0};
+  StartBarrier start(kThreads + 1);
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Xoshiro256 rng(t + 1);
+      start.arrive_and_wait();
+      for (int i = 0; i < kCycles; ++i) {
+        unsigned q = 0;
+        if (rng.below(8) == 0) {
+          if (!ac.try_admit(&q)) continue;
+        } else {
+          q = ac.admit();
+        }
+        const int now = inside.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (now > static_cast<int>(kThreads)) {
+          bound_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (q == 1) {
+          if (now != 1) lock_violations.fetch_add(1, std::memory_order_relaxed);
+          lock_holders.fetch_add(1, std::memory_order_acq_rel);
+        } else if (lock_holders.load(std::memory_order_acquire) != 0) {
+          lock_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (q == 1) lock_holders.fetch_sub(1, std::memory_order_acq_rel);
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+        ac.leave();
+      }
+      workers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  std::thread mutator([&] {
+    const unsigned quotas[] = {1, 3, 5, kThreads};
+    unsigned k = 0;
+    while (workers_done.load(std::memory_order_acquire) < kThreads) {
+      ac.set_quota(quotas[k++ % 4]);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ac.set_quota(kThreads);
+  });
+
+  start.arrive_and_wait();
+  for (auto& th : pool) th.join();
+  mutator.join();
+
+  EXPECT_EQ(bound_violations.load(), 0);
+  EXPECT_EQ(lock_violations.load(), 0);
+  EXPECT_EQ(inside.load(), 0);
+  EXPECT_EQ(ac.admitted(), 0u);
+}
+
+TEST_P(AdmissionStress, TryAdmitRacingPause) {
+  // try_admit never blocks, so it races the pause drain protocol head-on:
+  // every pause() return must still see an empty view, and a paused gate
+  // must reject the non-blocking path outright.
+  constexpr unsigned kThreads = 4;
+  AdmissionController ac(kThreads, kThreads, GetParam());
+  std::atomic<int> inside{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> pause_violations{0};
+  StartBarrier start(kThreads + 1);
+
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      start.arrive_and_wait();
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!ac.try_admit()) continue;
+        inside.fetch_add(1, std::memory_order_acq_rel);
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+        ac.leave();
+      }
+    });
+  }
+
+  start.arrive_and_wait();
+  for (int k = 0; k < 200; ++k) {
+    ac.pause();
+    if (inside.load(std::memory_order_acquire) != 0 || ac.admitted() != 0) {
+      pause_violations.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (ac.try_admit()) {  // paused gate must refuse
+      pause_violations.fetch_add(1, std::memory_order_relaxed);
+      ac.leave();
+    }
+    ac.resume();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(pause_violations.load(), 0);
+  EXPECT_EQ(ac.admitted(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Impls, AdmissionStress,
     ::testing::Values(AdmissionImpl::kAtomic, AdmissionImpl::kMutex),

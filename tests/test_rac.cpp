@@ -222,6 +222,23 @@ TEST(Policy, BadLevelMemoryExpires) {
   EXPECT_EQ(p.next_quota(2, 0.5), 4u);  // epoch 3: memory expired, probe again
 }
 
+TEST(Policy, NonPowerOfTwoMaxQuotaDoesNotAliasBadLevels) {
+  // With N = 6 the halving chain visits 6 and 4, which collide in a
+  // floor(log2) bucket. Marking 6 contended must not damp doubling into 4
+  // (a different quota), while 6 itself stays damped.
+  AdaptivePolicy p(6);
+  EXPECT_EQ(p.next_quota(6, 5.0), 3u);  // 6 marked bad
+  EXPECT_EQ(p.next_quota(2, 0.5), 4u);  // 4 shares 6's log2 bucket: not damped
+  EXPECT_EQ(p.next_quota(3, 0.5), 3u);  // doubling into 6 itself is damped
+}
+
+TEST(Policy, NonPowerOfTwoTwelveThreadChain) {
+  AdaptivePolicy p(12);
+  EXPECT_EQ(p.next_quota(12, 5.0), 6u);  // 12 marked bad
+  EXPECT_EQ(p.next_quota(4, 0.5), 8u);   // 8 shares 12's log2 bucket: doubles
+  EXPECT_EQ(p.next_quota(6, 0.5), 6u);   // doubling caps at 12, still damped
+}
+
 TEST(Policy, StableDeltaNearOneHolds) {
   PolicyConfig cfg;
   AdaptivePolicy p(16, cfg);

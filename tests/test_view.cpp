@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -105,6 +106,58 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, ViewTest,
                                            stm::Algo::kOrecEagerUndo,
                                            stm::Algo::kTml, stm::Algo::kCgl),
                          [](const auto& info) { return to_string(info.param); });
+
+// ---------------- exception-path accounting --------------------------------
+
+TEST(ViewExceptions, ExceptionAbortIsAccountedInStats) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 4);
+  vc.rac = RacMode::kFixed;
+  vc.fixed_quota = 2;
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 1); });
+
+  struct Boom {};
+  EXPECT_THROW(view.execute([&] {
+    vwrite<stm::Word>(cell, 2);
+    throw Boom{};
+  }),
+               Boom);
+
+  // The thrown-out-of transaction is an abort like any other: its cycles
+  // were spent and must show up in the totals, not vanish.
+  const stm::StatsSnapshot st = view.stats();
+  EXPECT_EQ(st.commits, 1u);
+  EXPECT_EQ(st.aborts, 1u);
+  EXPECT_GT(st.aborted_cycles, 0u);
+  ASSERT_EQ(view.admission().admitted(), 0u);
+
+  // The retry streak died with the exception: no backoff state may leak
+  // into this thread's next transaction.
+  EXPECT_EQ(thread_ctx().tx.consecutive_aborts, 0u);
+  view.execute([&] { vwrite<stm::Word>(cell, 3); });
+  EXPECT_EQ(vread(cell), 3u);
+}
+
+TEST(ViewExceptions, MisuseLeavesAdmissionExactlyOnce) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 2);
+  vc.rac = RacMode::kFixed;
+  vc.fixed_quota = 2;
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+
+  // A write inside a read-only transaction is a misuse: the engine-side
+  // handler leaves the admission controller before the logic_error reaches
+  // the exception path, which must then NOT leave a second time (a double
+  // leave underflows P and wedges every later admission).
+  EXPECT_THROW(view.execute_read([&] { vwrite<stm::Word>(cell, 1); }),
+               std::logic_error);
+  ASSERT_EQ(view.admission().admitted(), 0u);
+
+  view.execute([&] { vwrite<stm::Word>(cell, 5); });
+  EXPECT_EQ(vread(cell), 5u);
+  EXPECT_EQ(view.admission().admitted(), 0u);
+}
 
 // ---------------- RAC-specific behaviour ----------------------------------
 
