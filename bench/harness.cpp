@@ -1,5 +1,6 @@
 #include "bench/harness.hpp"
 
+#include <algorithm>
 #include <iostream>
 #include <thread>
 
@@ -27,7 +28,10 @@ BenchOptions parse_options(const std::string& summary, int argc, char** argv) {
             "RAC adaptation epoch length in commit+abort events")
       .flag("backoff", "yield",
             "abort-retry pacing: none | yield | exp (none = the paper's "
-            "immediate retry; yield approximates it on oversubscribed hosts)");
+            "immediate retry; yield approximates it on oversubscribed hosts)")
+      .flag("smoke", "0",
+            "clamp everything to a seconds-scale smoke run (CI bench-smoke "
+            "label; output is a bit-rot check, not a measurement)");
   flags.parse(argc, argv);
 
   BenchOptions opts;
@@ -49,6 +53,13 @@ BenchOptions parse_options(const std::string& summary, int argc, char** argv) {
   } else {
     std::cerr << "unknown --backoff value: " << backoff << "\n";
     std::exit(2);
+  }
+  opts.smoke = flags.boolean("smoke");
+  if (opts.smoke) {
+    opts.threads = std::min(opts.threads, 4u);
+    opts.loops = std::min<std::uint64_t>(opts.loops, 2);
+    opts.flows = std::min<std::uint64_t>(opts.flows, 500);
+    opts.cap_seconds = std::min(opts.cap_seconds, 1.0);
   }
   return opts;
 }

@@ -24,6 +24,13 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   std::uint64_t adapt_interval = 1024;
 
+  // Smoke mode (--smoke): clamp the sweep to a seconds-scale run whose only
+  // purpose is exercising the bench code paths end to end — the CI
+  // `bench-smoke` ctest label runs every bench this way, so bit-rot in a
+  // harness is caught by `ctest` instead of at paper-reproduction time.
+  // Smoke numbers are meaningless as measurements.
+  bool smoke = false;
+
   // Abort-retry pacing. The paper's configuration retries immediately
   // (kNone): on its 16 hardware cores a retrying thread runs IN PARALLEL
   // with the conflicting lock holder. On an oversubscribed host an

@@ -193,15 +193,24 @@ int main(int argc, char** argv) {
       .flag("spin", std::to_string(AdmissionController::kDefaultSpinBudget),
             "spin budget before parking (atomic impl)")
       .flag("repeats", "3", "runs per cell; the fastest is reported")
-      .flag("out", "BENCH_admission.json", "JSON output path");
+      .flag("out", "BENCH_admission.json", "JSON output path")
+      .flag("smoke", "0",
+            "seconds-scale smoke run (CI bench-smoke label; bit-rot check "
+            "only, numbers meaningless)");
   flags.parse(argc, argv);
 
-  const unsigned max_threads =
+  const bool smoke = flags.boolean("smoke");
+  unsigned max_threads =
       static_cast<unsigned>(std::max<std::int64_t>(1, flags.i64("threads")));
-  const auto ops_per_thread = static_cast<std::uint64_t>(flags.i64("ops"));
+  auto ops_per_thread = static_cast<std::uint64_t>(flags.i64("ops"));
   const unsigned spin_budget = static_cast<unsigned>(flags.i64("spin"));
-  const unsigned repeats =
+  unsigned repeats =
       static_cast<unsigned>(std::max<std::int64_t>(1, flags.i64("repeats")));
+  if (smoke) {
+    max_threads = std::min(max_threads, 4u);
+    ops_per_thread = std::min<std::uint64_t>(ops_per_thread, 2000);
+    repeats = 1;
+  }
 
   std::vector<CellResult> results;
   std::printf("%-7s %8s %6s %12s %10s %12s %12s\n", "impl", "threads", "quota",

@@ -93,7 +93,9 @@ std::string StmRandomScenario::name() const {
   std::ostringstream os;
   os << "stm-random/" << stm::to_string(cfg_.algo) << "/t" << cfg_.threads
      << "v" << cfg_.vars << "x" << cfg_.txs_per_thread << "o"
-     << cfg_.ops_per_tx << "w" << cfg_.write_pct << "s" << cfg_.workload_seed;
+     << cfg_.ops_per_tx << "w" << cfg_.write_pct;
+  if (cfg_.reread_pct != 0) os << "d" << cfg_.reread_pct;
+  os << "s" << cfg_.workload_seed;
   return os.str();
 }
 
@@ -116,9 +118,16 @@ Scenario::Outcome StmRandomScenario::run_once(const SchedOptions& opts) {
         tx.read_only = false;
         engine->begin(tx);
         try {
+          unsigned prev_var = 0;
           for (unsigned op = 0; op < cfg_.ops_per_tx; ++op) {
+            // The extra rng draw is gated so reread_pct == 0 replays the
+            // exact legacy op stream (seed-stable schedules).
             const unsigned var =
-                static_cast<unsigned>(rng.below(cfg_.vars));
+                (cfg_.reread_pct != 0 && op != 0 &&
+                 rng.below(100) < cfg_.reread_pct)
+                    ? prev_var
+                    : static_cast<unsigned>(rng.below(cfg_.vars));
+            prev_var = var;
             if (rng.below(100) < cfg_.write_pct) {
               // Unique over (thread, tx, attempt, op) and never the
               // initial 0, so snapshot matching is unambiguous.

@@ -45,6 +45,11 @@ struct StmRandomConfig {
   unsigned txs_per_thread = 2;
   unsigned ops_per_tx = 3;
   unsigned write_pct = 50;
+  // Probability (percent) that an op re-touches the PREVIOUS op's variable
+  // instead of drawing a fresh one. Nonzero values drive the duplicate
+  // paths — the orec read-log dedup and the value-log adjacent-read
+  // collapse — under schedule exploration. 0 keeps the legacy op stream.
+  unsigned reread_pct = 0;
   std::uint64_t workload_seed = 42;
   unsigned max_attempts = 256;  // per transaction; livelock guard
 };

@@ -56,6 +56,8 @@ enum class SchedPointId : std::uint8_t {
   kStmReadRetry,        // between a value load and its consistency re-check
   kStmWrite,            // write path, before lock acquisition / buffering
   kStmValidate,         // read-set validation entry
+  kStmValidateFilter,   // NOrec: between the seq sample and the ring scan
+                        // of the signature-filter fast path
   kStmCommit,           // commit entry
   kStmCommitLock,       // before commit-time lock/clock acquisition
   kStmCommitWriteback,  // between acquisition and (each) write-back store
@@ -86,6 +88,7 @@ inline const char* to_string(SchedPointId id) noexcept {
     case SchedPointId::kStmReadRetry: return "stm.read-retry";
     case SchedPointId::kStmWrite: return "stm.write";
     case SchedPointId::kStmValidate: return "stm.validate";
+    case SchedPointId::kStmValidateFilter: return "stm.validate-filter";
     case SchedPointId::kStmCommit: return "stm.commit";
     case SchedPointId::kStmCommitLock: return "stm.commit-lock";
     case SchedPointId::kStmCommitWriteback: return "stm.commit-writeback";
@@ -135,7 +138,10 @@ inline void sched_yield_point(SchedPointId id) {
 // asserts the harness reports a violation with a replayable schedule, and
 // disables it again — proving the oracle is live, not vacuously green.
 enum class Fault : unsigned {
-  kNorecSkipValidation = 0,  // NOrec::validate skips the value-set check
+  kNorecSkipValidation = 0,      // NOrec::validate skips the value-set check
+  kNorecSkipFilterFallback = 1,  // NOrec's signature filter treats a
+                                 // read/write overlap as disjoint (skips the
+                                 // values_match fallback it must trigger)
   kCount,
 };
 

@@ -34,7 +34,7 @@ View::View(ViewConfig config)
   // per-event trigger checks; production-length epochs amortize the
   // O(stripes) event-count fold over a stride of local events.
   adapt_check_stride_ = config_.adapt_interval >= 512 ? 16 : 1;
-  next_adapt_at_.store(config_.adapt_interval, std::memory_order_relaxed);
+  next_adapt_at_.value.store(config_.adapt_interval, std::memory_order_relaxed);
 }
 
 void* View::alloc(std::size_t size) {
@@ -225,7 +225,7 @@ void View::note_event(ThreadCtx& tc) {
     tc.events_to_adapt_check = 0;
   }
   const std::uint64_t events = totals_.event_count();
-  if (events < next_adapt_at_.load(std::memory_order_relaxed)) return;
+  if (events < next_adapt_at_.value.load(std::memory_order_relaxed)) return;
   // One adapter at a time; losers skip (the winner will reset the epoch).
   if (!adapt_mu_.try_lock()) return;
   adapt_locked();
@@ -235,7 +235,7 @@ void View::note_event(ThreadCtx& tc) {
 void View::adapt_locked() {
   const stm::StatsSnapshot now = stats();
   const std::uint64_t events = now.commits + now.aborts;
-  if (events < next_adapt_at_.load(std::memory_order_relaxed)) return;  // raced
+  if (events < next_adapt_at_.value.load(std::memory_order_relaxed)) return;  // raced
 
   stm::StatsSnapshot epoch = now;
   epoch.aborted_cycles -= epoch_base_.aborted_cycles;
@@ -261,7 +261,7 @@ void View::adapt_locked() {
     }
   }
   epoch_base_ = now;
-  next_adapt_at_.store(events + config_.adapt_interval, std::memory_order_relaxed);
+  next_adapt_at_.value.store(events + config_.adapt_interval, std::memory_order_relaxed);
 }
 
 }  // namespace votm::core

@@ -30,6 +30,7 @@
 #include "stm/cgl.hpp"
 #include "stm/engine.hpp"
 #include "stm/factory.hpp"
+#include "util/cacheline.hpp"
 #include "util/histogram.hpp"
 
 namespace votm::core {
@@ -168,8 +169,13 @@ class View {
   Log2Histogram abort_latency_;
   rac::AdaptationTrace trace_;
   std::mutex adapt_mu_;
-  stm::StatsSnapshot epoch_base_;               // guarded by adapt_mu_
-  std::atomic<std::uint64_t> next_adapt_at_{0};  // event count threshold
+  stm::StatsSnapshot epoch_base_;  // guarded by adapt_mu_
+  // Event-count threshold for the next adaptation check. Every thread loads
+  // it on (its stride of) commit/abort events, while the epoch closer
+  // writes it and mutates the neighbouring adapt_mu_/epoch_base_/trace_
+  // state — on its own cache line those hot reads stop riding the
+  // adaptation bookkeeping's invalidations.
+  CacheLinePadded<std::atomic<std::uint64_t>> next_adapt_at_{};
 };
 
 }  // namespace votm::core

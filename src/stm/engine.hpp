@@ -59,7 +59,7 @@ struct TxThread {
   // --- logs (engine-specific subsets are used) ----------------------------
   WriteSet wset;                  // redo log (NOrec, OrecEagerRedo)
   ValueReadLog vlog;              // value-based read log (NOrec)
-  std::vector<Orec*> rlog;        // orec read log (OrecEagerRedo)
+  OrecReadLog rlog;               // deduped orec read log (orec engines)
   std::vector<OwnedOrec> wlocks;  // orecs locked at encounter time
 
   // --- snapshots -----------------------------------------------------------

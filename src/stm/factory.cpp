@@ -15,7 +15,7 @@ namespace votm::stm {
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
   switch (algo) {
     case Algo::kNOrec:
-      return std::make_unique<NOrecEngine>();
+      return std::make_unique<NOrecEngine>(config.norec_commit_filters);
     case Algo::kOrecEagerRedo:
       return std::make_unique<OrecEagerRedoEngine>(config.orec_table_size);
     case Algo::kOrecLazy:

@@ -23,6 +23,10 @@ enum class Algo : std::uint8_t {
 
 struct EngineConfig {
   std::size_t orec_table_size = OrecTable::kDefaultSize;
+  // NOrec commit-signature broadcast (validation filtering); the orec
+  // engines' read-log dedup is a per-TxThread knob, not an engine one.
+  // Default follows the VOTM_VALIDATION_FILTERS CMake option.
+  bool norec_commit_filters = kValidationFiltersDefault;
 };
 
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config = {});

@@ -17,7 +17,7 @@ void OrecEagerUndoEngine::begin(TxThread& tx) {
 
 bool OrecEagerUndoEngine::read_log_valid(TxThread& tx,
                                          std::uint64_t bound) const noexcept {
-  for (const Orec* o : tx.rlog) {
+  for (const Orec* o : tx.rlog.entries()) {
     const Orec::Packed p = o->load();
     if (Orec::is_locked(p)) {
       if (Orec::owner_of(p) != &tx) return false;
@@ -57,7 +57,7 @@ Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
     const Word value = load_word(addr);
     VOTM_SCHED_POINT(kStmReadRetry);
     if (o.load() == before) {
-      tx.rlog.push_back(&o);
+      tx.rlog.push(&o);
       return value;
     }
   }

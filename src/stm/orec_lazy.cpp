@@ -15,7 +15,7 @@ void OrecLazyEngine::begin(TxThread& tx) {
 
 bool OrecLazyEngine::read_log_valid(TxThread& tx,
                                     std::uint64_t bound) const noexcept {
-  for (const Orec* o : tx.rlog) {
+  for (const Orec* o : tx.rlog.entries()) {
     const Orec::Packed p = o->load();
     if (Orec::is_locked(p)) {
       if (Orec::owner_of(p) != &tx) return false;
@@ -64,7 +64,7 @@ Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
     const Word value = load_word(addr);
     VOTM_SCHED_POINT(kStmReadRetry);
     if (o.load() == before) {
-      tx.rlog.push_back(&o);
+      tx.rlog.push(&o);
       return value;
     }
   }

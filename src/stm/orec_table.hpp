@@ -62,6 +62,13 @@ class Orec {
 // Fixed-size hash-indexed orec array. Word addresses map onto orecs; two
 // distinct addresses may alias the same orec (a legal over-approximation of
 // conflicts, exactly as in RSTM/TinySTM).
+//
+// Each orec owns a full cache line. Packed 8-per-line, two transactions
+// CASing/validating UNRELATED stripes ping-pong the shared line — under a
+// hash that scatters hot addresses uniformly, false sharing is the common
+// case, not the corner case, and it silently re-couples metadata the
+// engine's design says is independent. The memory cost (64 B/orec,
+// 256 KiB at the default 4096 stripes) is per engine instance and bounded.
 class OrecTable {
  public:
   static constexpr std::size_t kDefaultSize = std::size_t{1} << 12;
@@ -79,14 +86,17 @@ class OrecTable {
     x ^= x >> 13;
     x *= 0x9e3779b97f4a7c15ULL;
     x ^= x >> 31;
-    return orecs_[static_cast<std::size_t>(x) & mask_];
+    return orecs_[static_cast<std::size_t>(x) & mask_].value;
   }
 
   std::size_t size() const noexcept { return orecs_.size(); }
 
  private:
+  static_assert(sizeof(CacheLinePadded<Orec>) == kCacheLine,
+                "one orec per cache line is this table's layout contract");
+
   std::size_t mask_;
-  std::vector<Orec> orecs_;
+  std::vector<CacheLinePadded<Orec>> orecs_;
 };
 
 }  // namespace votm::stm

@@ -1,0 +1,88 @@
+// Address signatures for validation filtering.
+//
+// A SigFilter is a 256-bit Bloom filter (one bit per address) over the
+// word addresses a transaction touched. Two uses share it:
+//   * WriteSet / ValueReadLog keep one as a membership pre-check, so a
+//     lookup (or a whole validation pass) can be skipped when the address
+//     set provably cannot contain the probe;
+//   * NOrec committers broadcast their write-set signature next to the
+//     sequence-lock bump, so a validating reader that finds every
+//     interleaved commit's signature DISJOINT from its read-set signature
+//     can skip value-based validation entirely (see norec.cpp).
+// False positives only ever force the conservative path (a real lookup, a
+// full value scan); a signature can never report "absent" for a present
+// address, so filtering is correctness-neutral by construction.
+//
+// The compile-time default for every filter knob is VOTM_VALIDATION_FILTERS
+// (CMake option of the same name); bench/micro_validation flips the knobs
+// at runtime to A/B old-vs-new behaviour inside one binary.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace votm::stm {
+
+inline constexpr bool kValidationFiltersDefault =
+#if defined(VOTM_VALIDATION_FILTERS) && !VOTM_VALIDATION_FILTERS
+    false;
+#else
+    true;
+#endif
+
+// The one address hash shared by every signature check and every
+// open-addressing log index (WriteSet, OrecReadLog): finalizer-style
+// mixing over the word-aligned pointer bits.
+inline std::size_t addr_hash(const void* addr) noexcept {
+  auto x = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  x ^= x >> 17;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+
+class SigFilter {
+ public:
+  static constexpr std::size_t kWords = 4;  // 256 bits
+  using Words = std::array<std::uint64_t, kWords>;
+
+  void clear() noexcept { words_.fill(0); }
+
+  bool none() const noexcept {
+    std::uint64_t acc = 0;
+    for (std::uint64_t w : words_) acc |= w;
+    return acc == 0;
+  }
+
+  void add_hash(std::size_t h) noexcept {
+    words_[(h >> 6) & (kWords - 1)] |= std::uint64_t{1} << (h & 63);
+  }
+  void add(const void* addr) noexcept { add_hash(addr_hash(addr)); }
+
+  bool maybe_contains_hash(std::size_t h) const noexcept {
+    return (words_[(h >> 6) & (kWords - 1)] & (std::uint64_t{1} << (h & 63))) !=
+           0;
+  }
+  bool maybe_contains(const void* addr) const noexcept {
+    return maybe_contains_hash(addr_hash(addr));
+  }
+
+  bool intersects(const SigFilter& other) const noexcept {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kWords; ++i) acc |= words_[i] & other.words_[i];
+    return acc != 0;
+  }
+
+  const Words& words() const noexcept { return words_; }
+  static SigFilter from_words(const Words& w) noexcept {
+    SigFilter f;
+    f.words_ = w;
+    return f;
+  }
+
+ private:
+  Words words_{};
+};
+
+}  // namespace votm::stm

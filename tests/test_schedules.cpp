@@ -20,6 +20,7 @@
 
 #include "check/explore.hpp"
 #include "check/scenarios.hpp"
+#include "stm/signature.hpp"
 
 namespace votm::check {
 namespace {
@@ -80,6 +81,24 @@ TEST(RandomWalks, SnapshotConsistencyHoldsAcrossEngines) {
     cfg.algo = algo;
     StmSnapshotScenario scenario(cfg);
     const auto report = explore_random(scenario, 40, 0xBADC0DE);
+    EXPECT_TRUE(report.clean()) << report.repro;
+  }
+}
+
+TEST(RandomWalks, DuplicateReadsExerciseDedupPaths) {
+  // Heavy re-reads over two variables: the orec engines route repeated
+  // reads of one stripe through OrecReadLog's dedup probe, NOrec through
+  // ValueReadLog's adjacent-duplicate collapse — with writers interleaved
+  // so validation runs against the deduped logs.
+  for (stm::Algo algo : kAllAlgos) {
+    StmRandomConfig cfg;
+    cfg.algo = algo;
+    cfg.vars = 2;
+    cfg.ops_per_tx = 5;
+    cfg.write_pct = 30;
+    cfg.reread_pct = 60;
+    StmRandomScenario scenario(cfg);
+    const auto report = explore_random(scenario, 40, 0xD0D0);
     EXPECT_TRUE(report.clean()) << report.repro;
   }
 }
@@ -145,6 +164,35 @@ TEST(FaultInjection, NorecValidationSkipIsCaughtAndReplayable) {
     ASSERT_FALSE(replay.clean()) << "replay " << i << " lost the violation";
     EXPECT_EQ(replay.violation->what, report.violation->what);
   }
+}
+
+// Mutation check for the signature-filter fast path: a filter that treats
+// a read/write signature overlap as disjoint skips the values_match()
+// fallback it must trigger, and a reader validates a torn snapshot as
+// clean. The snapshot scenario's writers write every variable the reader
+// reads, so the overlap (and thus the mutated branch) is hit on every
+// filtered validation.
+TEST(FaultInjection, NorecFilterFallbackSkipIsCaughtAndReplayable) {
+  if (!stm::kValidationFiltersDefault) {
+    GTEST_SKIP() << "filters compiled off (-DVOTM_VALIDATION_FILTERS=OFF)";
+  }
+  StmSnapshotConfig cfg;
+  cfg.algo = stm::Algo::kNOrec;
+  StmSnapshotScenario scenario(cfg);
+
+  // Sanity: the unfaulted filter path is clean on the same campaign.
+  const auto clean = explore_random(scenario, 100, 0xF117);
+  ASSERT_TRUE(clean.clean()) << clean.repro;
+
+  FaultGuard fault(Fault::kNorecSkipFilterFallback);
+  const auto report = explore_random(scenario, 2000, 0xF117);
+  ASSERT_FALSE(report.clean())
+      << "filter-fallback-skip mutant survived " << report.runs
+      << " schedules";
+  EXPECT_FALSE(report.schedule.empty());
+  const auto replay = replay_schedule(scenario, report.schedule);
+  ASSERT_FALSE(replay.clean()) << "replay lost the violation";
+  EXPECT_EQ(replay.violation->what, report.violation->what);
 }
 
 TEST(FaultInjection, ExhaustiveFindsNorecValidationSkip) {
