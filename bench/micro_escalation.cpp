@@ -1,0 +1,246 @@
+// A/B harness for the escalation ladder: the paper's pathological workload
+// (one hot word, encounter-time locking, no backoff, fixed Q = N) with the
+// progress-guarantee ladder off vs on.
+//
+// What the two cells show:
+//   off — the paper's contention regime: throughput survives on luck and
+//         individual transactions can starve (the abort-streak high-water
+//         mark is unbounded in principle);
+//   on  — aging + serial escalation cap every transaction's streak at
+//         serial_after, at whatever throughput cost the drains impose. The
+//         ratio quantifies the price of the progress guarantee; the hwm
+//         column is the guarantee itself (on-cells must stay <= serial_after).
+//
+// Results go to stdout and a JSON file (default BENCH_escalation.json) so
+// the trajectory is tracked across PRs.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/access.hpp"
+#include "core/view.hpp"
+#include "util/barrier.hpp"
+#include "util/cli.hpp"
+#include "util/cycles.hpp"
+
+namespace {
+
+using namespace votm;
+
+struct CellResult {
+  bool escalation;
+  unsigned threads;
+  std::uint64_t ops;
+  double seconds;
+  double ops_per_sec;
+  std::uint64_t aborts;
+  std::uint64_t abort_streak_hwm;
+};
+
+struct LadderKnobs {
+  std::uint64_t aging_after;
+  std::uint64_t serial_after;
+};
+
+CellResult run_one(bool escalation, unsigned threads,
+                   std::uint64_t ops_per_thread, const LadderKnobs& knobs) {
+  core::ViewConfig vc;
+  vc.algo = stm::Algo::kOrecEagerRedo;  // encounter-time locks: the paper's
+                                        // livelock-prone configuration
+  vc.max_threads = threads;
+  vc.rac = core::RacMode::kFixed;
+  vc.fixed_quota = threads;  // no quota rescue: isolate the ladder
+  vc.initial_bytes = 1 << 16;
+  vc.backoff = BackoffPolicy::kNone;
+  vc.escalation.enabled = escalation;
+  vc.escalation.aging_after = knobs.aging_after;
+  vc.escalation.serial_after = knobs.serial_after;
+  core::View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { core::vwrite<stm::Word>(cell, 0); });
+
+  StartBarrier barrier(threads + 1);
+  std::vector<std::uint64_t> start_cycles(threads, 0);
+  std::vector<std::uint64_t> end_cycles(threads, 0);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      start_cycles[t] = rdcycles();
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+        view.execute([&] {
+          // Yield while holding the encounter-time lock: the paper's
+          // near-livelock mechanism, and the only way to manufacture
+          // contention when cores < threads (every peer that runs in the
+          // window aborts against the held orec).
+          core::vadd<stm::Word>(cell, 1);
+          std::this_thread::yield();
+        });
+      }
+      end_cycles[t] = rdcycles();
+      barrier.arrive_and_wait();
+    });
+  }
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  for (auto& th : pool) th.join();
+
+  std::uint64_t first_start = start_cycles[0];
+  std::uint64_t last_end = end_cycles[0];
+  for (unsigned t = 1; t < threads; ++t) {
+    first_start = std::min(first_start, start_cycles[t]);
+    last_end = std::max(last_end, end_cycles[t]);
+  }
+
+  CellResult r;
+  r.escalation = escalation;
+  r.threads = threads;
+  r.ops = ops_per_thread * threads;
+  r.seconds = last_end > first_start
+                  ? static_cast<double>(last_end - first_start) /
+                        cycles_per_second()
+                  : 0.0;
+  r.ops_per_sec = r.seconds > 0 ? static_cast<double>(r.ops) / r.seconds : 0.0;
+  r.aborts = view.stats().aborts;
+  r.abort_streak_hwm = view.consecutive_abort_hwm();
+  return r;
+}
+
+// Best of `repeats`: scheduler noise only slows a cell down.
+CellResult run_cell(bool escalation, unsigned threads,
+                    std::uint64_t ops_per_thread, const LadderKnobs& knobs,
+                    unsigned repeats) {
+  CellResult best = run_one(escalation, threads, ops_per_thread, knobs);
+  for (unsigned i = 1; i < repeats; ++i) {
+    const CellResult r = run_one(escalation, threads, ops_per_thread, knobs);
+    if (r.ops_per_sec > best.ops_per_sec) best = r;
+  }
+  return best;
+}
+
+const CellResult* find(const std::vector<CellResult>& rs, bool escalation,
+                       unsigned threads) {
+  for (const CellResult& r : rs) {
+    if (r.escalation == escalation && r.threads == threads) return &r;
+  }
+  return nullptr;
+}
+
+void write_json(const std::string& path, const std::vector<CellResult>& rs,
+                unsigned max_threads, std::uint64_t ops_per_thread,
+                const LadderKnobs& knobs) {
+  std::ofstream out(path);
+  char buf[256];
+  out << "{\n  \"bench\": \"micro_escalation\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"hardware_concurrency\": %u,\n  \"cycles_per_second\": "
+                "%.6g,\n  \"max_threads\": %u,\n  \"ops_per_thread\": %llu,\n"
+                "  \"aging_after\": %llu,\n  \"serial_after\": %llu,\n"
+                "  \"results\": [\n",
+                std::thread::hardware_concurrency(), cycles_per_second(),
+                max_threads, static_cast<unsigned long long>(ops_per_thread),
+                static_cast<unsigned long long>(knobs.aging_after),
+                static_cast<unsigned long long>(knobs.serial_after));
+  out << buf;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const CellResult& r = rs[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"escalation\": %s, \"threads\": %u, \"ops\": %llu, "
+        "\"seconds\": %.6g, \"ops_per_sec\": %.6g, \"aborts\": %llu, "
+        "\"abort_streak_hwm\": %llu}%s\n",
+        r.escalation ? "true" : "false", r.threads,
+        static_cast<unsigned long long>(r.ops), r.seconds, r.ops_per_sec,
+        static_cast<unsigned long long>(r.aborts),
+        static_cast<unsigned long long>(r.abort_streak_hwm),
+        i + 1 < rs.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n  \"throughput_on_vs_off\": [\n";
+  bool first = true;
+  for (const CellResult& r : rs) {
+    if (!r.escalation) continue;
+    const CellResult* base = find(rs, false, r.threads);
+    if (base == nullptr || base->ops_per_sec <= 0) continue;
+    std::snprintf(buf, sizeof buf,
+                  "    %s{\"threads\": %u, \"ratio\": %.4g}\n",
+                  first ? "" : ",", r.threads,
+                  r.ops_per_sec / base->ops_per_sec);
+    out << buf;
+    first = false;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(
+      "Escalation ladder A/B microbench: starving hot-word workload with "
+      "the progress guarantee off vs on.");
+  flags.flag("threads", "8", "max thread count (swept in powers of two)")
+      .flag("ops", "1000", "transactions per thread per cell")
+      .flag("aging", "16", "aging_after threshold (consecutive aborts)")
+      .flag("serial", "64", "serial_after threshold (consecutive aborts)")
+      .flag("repeats", "2", "runs per cell; the fastest is reported")
+      .flag("out", "BENCH_escalation.json", "JSON output path")
+      .flag("smoke", "0",
+            "seconds-scale smoke run (CI bench-smoke label; bit-rot check "
+            "only, numbers meaningless)");
+  flags.parse(argc, argv);
+
+  const bool smoke = flags.boolean("smoke");
+  unsigned max_threads =
+      static_cast<unsigned>(std::max<std::int64_t>(1, flags.i64("threads")));
+  auto ops_per_thread = static_cast<std::uint64_t>(flags.i64("ops"));
+  LadderKnobs knobs;
+  knobs.aging_after = static_cast<std::uint64_t>(flags.i64("aging"));
+  knobs.serial_after = static_cast<std::uint64_t>(flags.i64("serial"));
+  unsigned repeats =
+      static_cast<unsigned>(std::max<std::int64_t>(1, flags.i64("repeats")));
+  if (smoke) {
+    max_threads = std::min(max_threads, 4u);
+    ops_per_thread = std::min<std::uint64_t>(ops_per_thread, 200);
+    repeats = 1;
+  }
+
+  std::vector<CellResult> results;
+  std::printf("%-11s %8s %12s %10s %12s %12s %10s\n", "escalation", "threads",
+              "ops", "sec", "ops/sec", "aborts", "hwm");
+  for (const bool escalation : {false, true}) {
+    for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+      const CellResult r =
+          run_cell(escalation, threads, ops_per_thread, knobs, repeats);
+      results.push_back(r);
+      std::printf("%-11s %8u %12llu %10.4f %12.0f %12llu %10llu\n",
+                  r.escalation ? "on" : "off", r.threads,
+                  static_cast<unsigned long long>(r.ops), r.seconds,
+                  r.ops_per_sec, static_cast<unsigned long long>(r.aborts),
+                  static_cast<unsigned long long>(r.abort_streak_hwm));
+      if (r.escalation && r.abort_streak_hwm > knobs.serial_after) {
+        std::printf("  ^^ PROGRESS GUARANTEE BROKEN: hwm %llu > serial_after "
+                    "%llu\n",
+                    static_cast<unsigned long long>(r.abort_streak_hwm),
+                    static_cast<unsigned long long>(knobs.serial_after));
+      }
+    }
+  }
+
+  std::printf("\nthroughput (on / off):\n");
+  for (const CellResult& r : results) {
+    if (!r.escalation) continue;
+    const CellResult* base = find(results, false, r.threads);
+    if (base == nullptr || base->ops_per_sec <= 0) continue;
+    std::printf("  threads=%u: %.2fx\n", r.threads,
+                r.ops_per_sec / base->ops_per_sec);
+  }
+
+  write_json(flags.str("out"), results, max_threads, ops_per_thread, knobs);
+  std::printf("\nwrote %s\n", flags.str("out").c_str());
+  return 0;
+}

@@ -9,10 +9,12 @@
 #include <utility>
 #include <vector>
 
+#include "check/fault.hpp"
 #include "core/access.hpp"
 #include "core/view.hpp"
 #include "rac/admission.hpp"
 #include "util/rng.hpp"
+#include "util/thread_ordinal.hpp"
 
 namespace votm::check {
 
@@ -449,6 +451,192 @@ Scenario::Outcome ViewStatsScenario::run_once(const SchedOptions& opts) {
   }
   if (view.admission().admitted() != 0) {
     sink.note("admission ledger nonzero after quiescence");
+  }
+  return Outcome{std::move(res), sink.take()};
+}
+
+// ---------------------------------------------------------------------------
+// EscalationScenario
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The availability fault that makes an engine lose a commit attempt. CGL
+// cannot abort, so it has no site (the scenario degenerates to a plain
+// commit and the starvation bound holds trivially).
+FaultSite commit_tail_site(stm::Algo algo) {
+  switch (algo) {
+    case stm::Algo::kNOrec: return FaultSite::kNorecCommitTail;
+    case stm::Algo::kOrecEagerRedo: return FaultSite::kOrecEagerRedoCommitTail;
+    case stm::Algo::kOrecLazy: return FaultSite::kOrecLazyCommitTail;
+    case stm::Algo::kOrecEagerUndo: return FaultSite::kOrecEagerUndoCommitTail;
+    case stm::Algo::kTml: return FaultSite::kTmlAcquireFail;
+    case stm::Algo::kCgl: break;
+  }
+  return FaultSite::kCount;
+}
+
+}  // namespace
+
+std::string EscalationScenario::name() const {
+  std::ostringstream os;
+  os << "escalation/" << stm::to_string(cfg_.algo) << "/t" << cfg_.threads
+     << "a" << cfg_.aging_after << "s" << cfg_.serial_after << "r"
+     << cfg_.peer_rounds;
+  if (cfg_.drop_serial_token) os << "+drop";
+  return os.str();
+}
+
+Scenario::Outcome EscalationScenario::run_once(const SchedOptions& opts) {
+  core::ViewConfig vc;
+  vc.algo = cfg_.algo;
+  vc.max_threads = cfg_.max_threads;
+  vc.rac = core::RacMode::kFixed;
+  vc.fixed_quota = cfg_.max_threads;  // peers are never gated: the serial
+                                      // drain does all the displacement
+  vc.initial_bytes = 1 << 16;
+  vc.backoff = BackoffPolicy::kNone;  // the adversarial case: no pacing
+  vc.escalation.enabled = true;
+  vc.escalation.aging_after = cfg_.aging_after;
+  vc.escalation.serial_after = cfg_.serial_after;
+  core::View view(vc);
+  auto* victim_cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  auto* peer_cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] {
+    core::vwrite<stm::Word>(victim_cell, 0);
+    core::vwrite<stm::Word>(peer_cell, 0);
+  });
+
+  FaultInjector& inj = FaultInjector::instance();
+  const FaultSite site = commit_tail_site(cfg_.algo);
+  if (site != FaultSite::kCount) {
+    FaultPlan plan;  // fire on every evaluation...
+    plan.marked_thread_only = true;  // ...but only on the marked victim
+    inj.arm(site, plan);
+  }
+  if (cfg_.drop_serial_token) {
+    FaultPlan drop;
+    drop.fire = 1;  // lose exactly the first token handoff
+    inj.arm(FaultSite::kSerialTokenDrop, drop);
+  }
+
+  ViolationSink sink;
+  std::atomic<std::uint64_t> victim_attempts{0};
+  std::atomic<std::uint64_t> peer_attempts{0};
+  std::atomic<std::uint64_t> peer_commits{0};
+  std::atomic<bool> victim_done{false};
+  const std::uint64_t bound = cfg_.serial_after + 1;
+
+  // Token-visibility oracle, run at the top of every body: while some OTHER
+  // thread holds the serial token, no body may be running. (serial_holder
+  // is published only after the drain emptied the view, and cleared before
+  // the gate reopens, so a concurrent observation is a real violation —
+  // exactly what the dropped token produces.)
+  auto check_token = [&](const char* who) {
+    const int holder = view.admission().serial_holder();
+    if (holder >= 0 && holder != static_cast<int>(thread_ordinal())) {
+      // No raw ordinal in the message: ordinals are process-global and the
+      // replay spawns fresh threads, so the text must be run-independent
+      // for the replayed violation to compare equal.
+      std::ostringstream os;
+      os << who << " body ran while another thread held the serial token";
+      sink.note(os.str());
+    }
+  };
+
+  CoopScheduler sched(cfg_.threads, opts);
+  SchedResult res = sched.run([&](unsigned t) {
+    if (t == 0) {
+      FaultThreadMark mark;  // target of the marked_thread_only plan
+      view.execute([&] {
+        const std::uint64_t n =
+            victim_attempts.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (n > bound) {
+          std::ostringstream os;
+          os << "starvation-freedom violated: victim attempt " << n
+             << " exceeds serial_after + 1 = " << bound;
+          sink.note(os.str());
+          // Escape hatch: let the run terminate and report instead of
+          // spinning the exploration budget away.
+          if (site != FaultSite::kCount) inj.disarm(site);
+        }
+        check_token("victim");
+        const stm::TxThread& tx = core::thread_ctx().tx;
+        if (tx.serial) {
+          if (view.admission().serial_holder() !=
+              static_cast<int>(thread_ordinal())) {
+            sink.note("serial transaction running without the token");
+          }
+          if (view.admission().admitted() != 1) {
+            std::ostringstream os;
+            os << "serial mutual exclusion violated: " <<
+                view.admission().admitted()
+               << " admitted during an irrevocable transaction";
+            sink.note(os.str());
+          }
+        }
+        core::vadd<stm::Word>(victim_cell, 1);
+      });
+      victim_done.store(true, std::memory_order_release);
+      return;
+    }
+    for (unsigned r = 0; r < cfg_.peer_rounds &&
+                         !victim_done.load(std::memory_order_acquire);
+         ++r) {
+      view.execute([&] {
+        peer_attempts.fetch_add(1, std::memory_order_relaxed);
+        check_token("peer");
+        core::vadd<stm::Word>(peer_cell, 1);
+      });
+      peer_commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  inj.disarm_all();
+
+  for (const std::string& e : res.thread_errors) {
+    sink.note("worker exception: " + e);
+  }
+  if (site != FaultSite::kCount) {
+    // Per-run vacuity would be a false positive: the victim can abort on a
+    // natural conflict before reaching the injected site. Campaign-level
+    // vacuity is the caller's check, via commit_tail_triggers().
+    commit_tail_triggers_ += inj.triggers(site);
+  }
+  if (cfg_.drop_serial_token &&
+      inj.triggers(FaultSite::kSerialTokenDrop) == 0) {
+    sink.note("vacuous run: the serial-token drop never fired");
+  }
+  // Exactness + conservation. The initialising transaction is in the books.
+  const stm::Word victim_final = core::vread(victim_cell);
+  if (victim_final != 1) {
+    std::ostringstream os;
+    os << "victim cell holds " << victim_final
+       << " after exactly one committed increment";
+    sink.note(os.str());
+  }
+  const stm::Word peer_final = core::vread(peer_cell);
+  if (peer_final != peer_commits.load()) {
+    std::ostringstream os;
+    os << "peer cell holds " << peer_final << " but " << peer_commits.load()
+       << " peer transactions committed";
+    sink.note(os.str());
+  }
+  const stm::StatsSnapshot st = view.stats();
+  const std::uint64_t commits = 1 + 1 + peer_commits.load();
+  const std::uint64_t attempts =
+      1 + victim_attempts.load() + peer_attempts.load();
+  if (st.commits != commits || st.commits + st.aborts != attempts) {
+    std::ostringstream os;
+    os << "stats conservation: observed " << commits << " commits / "
+       << attempts << " attempts, view counted " << st.commits
+       << " commits + " << st.aborts << " aborts";
+    sink.note(os.str());
+  }
+  if (view.admission().admitted() != 0) {
+    sink.note("admission ledger nonzero after quiescence");
+  }
+  if (view.admission().serial_holder() != -1) {
+    sink.note("serial token still held after quiescence");
   }
   return Outcome{std::move(res), sink.take()};
 }

@@ -158,6 +158,53 @@ class ViewStatsScenario final : public Scenario {
   ViewStatsConfig cfg_;
 };
 
+// Escalation-ladder starvation scenario (DESIGN.md §14). Thread 0 — the
+// victim — carries a marked commit-tail fault so every one of its ordinary
+// commit attempts conflicts, while the peers run unfaulted. Without the
+// ladder the victim starves forever; with it the serial rung must kick in.
+// Oracles:
+//   * starvation freedom: the victim's body runs at most serial_after + 1
+//     times (serial_after losing attempts + one irrevocable commit). One
+//     attempt past the bound disarms the fault and reports, so a broken
+//     ladder fails loudly instead of hanging the exploration;
+//   * serial mutual exclusion: the serial rung admits exactly the holder
+//     (checked from inside the serial body), and no peer body runs while
+//     another thread holds the token (checked from the peer bodies). The
+//     drop_serial_token variant arms kSerialTokenDrop and EXPECTS these
+//     oracles to fire — the mutation campaign's detectability proof;
+//   * counter exactness, stats conservation and drained admission/serial
+//     ledgers after the run.
+struct EscalationScenarioConfig {
+  stm::Algo algo = stm::Algo::kNOrec;
+  unsigned threads = 2;      // thread 0 is the victim
+  unsigned max_threads = 2;  // also the fixed quota: peers stay admitted
+  std::uint64_t aging_after = 1;
+  std::uint64_t serial_after = 3;
+  unsigned peer_rounds = 4;  // transactions per peer (stop early when the
+                             // victim finishes)
+  bool drop_serial_token = false;  // arm the token-drop mutation
+};
+
+class EscalationScenario final : public Scenario {
+ public:
+  explicit EscalationScenario(EscalationScenarioConfig cfg) : cfg_(cfg) {}
+  std::string name() const override;
+  Outcome run_once(const SchedOptions& opts) override;
+
+  // Whole-campaign sum of commit-tail fault triggers. Vacuity is a
+  // campaign-level property, not a per-run one: on any engine a natural
+  // conflict (e.g. TML read validation against a peer commit) can abort
+  // the victim before it reaches the injected site, so individual runs may
+  // legitimately escalate without the fault ever firing.
+  std::uint64_t commit_tail_triggers() const noexcept {
+    return commit_tail_triggers_;
+  }
+
+ private:
+  EscalationScenarioConfig cfg_;
+  std::uint64_t commit_tail_triggers_ = 0;
+};
+
 }  // namespace votm::check
 
 #endif  // VOTM_SCHED_POINTS

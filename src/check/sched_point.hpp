@@ -37,14 +37,13 @@
 //     slow paths take such mutexes with try_lock + yield-point loops when
 //     a harness is attached, see AdmissionController).
 //
-// The fault-injection switchboard lives here too: a compile-gated mutation
-// hook (e.g. "NOrec skips value validation") that the schedule tests flip
-// on to prove the oracles actually catch the bug class they claim to.
+// The fault-injection switchboard (deterministic seeded plans over named
+// sites in engine commit tails, the admission protocol, and the escalation
+// ladder) lives in src/check/fault.hpp and is gated by the same macro.
 #pragma once
 
 #if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
 
-#include <atomic>
 #include <cstdint>
 
 namespace votm::check {
@@ -78,6 +77,12 @@ enum class SchedPointId : std::uint8_t {
   kAdmResume,           // resume: before reopening the gate
   kAdmSetQuota,         // set_quota: before a state transition CAS
   kAdmSetQuotaDrain,    // set_quota lock-mode drain loop (yield)
+  // --- escalation ladder / serial token ------------------------------------
+  kAdmSerialAcquire,    // before the serial-token CAS attempt
+  kAdmSerialWait,       // waiting for a foreign serial token (yield)
+  kAdmSerialClosed,     // token won, before the admitted-drain poll
+  kAdmSerialDrain,      // serial-token drain poll loop (yield)
+  kAdmSerialRelease,    // before the serial-token release transition
   kCount,
 };
 
@@ -108,6 +113,11 @@ inline const char* to_string(SchedPointId id) noexcept {
     case SchedPointId::kAdmResume: return "adm.resume";
     case SchedPointId::kAdmSetQuota: return "adm.set-quota";
     case SchedPointId::kAdmSetQuotaDrain: return "adm.set-quota-drain";
+    case SchedPointId::kAdmSerialAcquire: return "adm.serial-acquire";
+    case SchedPointId::kAdmSerialWait: return "adm.serial-wait";
+    case SchedPointId::kAdmSerialClosed: return "adm.serial-closed";
+    case SchedPointId::kAdmSerialDrain: return "adm.serial-drain";
+    case SchedPointId::kAdmSerialRelease: return "adm.serial-release";
     case SchedPointId::kCount: break;
   }
   return "?";
@@ -133,53 +143,12 @@ inline void sched_yield_point(SchedPointId id) {
   if (SchedInterceptor* i = tls_interceptor) i->at_point(id, true);
 }
 
-// --- fault injection (mutation self-checks) --------------------------------
-// Deliberate, compile-gated bug switches. A schedule test enables one,
-// asserts the harness reports a violation with a replayable schedule, and
-// disables it again — proving the oracle is live, not vacuously green.
-enum class Fault : unsigned {
-  kNorecSkipValidation = 0,      // NOrec::validate skips the value-set check
-  kNorecSkipFilterFallback = 1,  // NOrec's signature filter treats a
-                                 // read/write overlap as disjoint (skips the
-                                 // values_match fallback it must trigger)
-  kCount,
-};
-
-inline std::atomic<std::uint32_t> g_fault_mask{0};
-
-inline bool fault_enabled(Fault f) noexcept {
-  return (g_fault_mask.load(std::memory_order_relaxed) >>
-          static_cast<unsigned>(f)) & 1u;
-}
-inline void set_fault(Fault f, bool on) noexcept {
-  const std::uint32_t bit = 1u << static_cast<unsigned>(f);
-  if (on) {
-    g_fault_mask.fetch_or(bit, std::memory_order_relaxed);
-  } else {
-    g_fault_mask.fetch_and(~bit, std::memory_order_relaxed);
-  }
-}
-
-// RAII guard for a fault window in tests.
-class FaultGuard {
- public:
-  explicit FaultGuard(Fault f) : f_(f) { set_fault(f_, true); }
-  ~FaultGuard() { set_fault(f_, false); }
-  FaultGuard(const FaultGuard&) = delete;
-  FaultGuard& operator=(const FaultGuard&) = delete;
-
- private:
-  Fault f_;
-};
-
 }  // namespace votm::check
 
 #define VOTM_SCHED_POINT(id) \
   ::votm::check::sched_point(::votm::check::SchedPointId::id)
 #define VOTM_SCHED_YIELD_POINT(id) \
   ::votm::check::sched_yield_point(::votm::check::SchedPointId::id)
-#define VOTM_CHECK_FAULT(f) \
-  ::votm::check::fault_enabled(::votm::check::Fault::f)
 
 #else  // !VOTM_SCHED_POINTS
 
@@ -192,6 +161,5 @@ constexpr bool thread_intercepted() noexcept { return false; }
 
 #define VOTM_SCHED_POINT(id) ((void)0)
 #define VOTM_SCHED_YIELD_POINT(id) ((void)0)
-#define VOTM_CHECK_FAULT(f) false
 
 #endif  // VOTM_SCHED_POINTS

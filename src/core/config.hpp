@@ -25,6 +25,30 @@ enum class RacMode : std::uint8_t {
   kDisabled,  // no admission control at all, no RAC bookkeeping overhead
 };
 
+// Escalation ladder thresholds (DESIGN.md §14). A transaction's rung is its
+// consecutive-abort streak:
+//   streak <  aging_after   — configured backoff policy (paper default: none)
+//   streak >= aging_after   — priority aging: retries are paced by the
+//                             view's average aborted-transaction cost,
+//                             doubling per extra abort (Backoff::pause_aged)
+//   streak >= serial_after  — serial escalation: acquire the view's serial
+//                             token, drain the peers, run irrevocably; the
+//                             transaction then cannot abort, so serial_after
+//                             bounds every transaction's total abort count.
+//
+// Opt-in, not default: the aging pauses suppress exactly the signal
+// (aborted cycles feeding delta) that adaptive RAC halves quotas on, so
+// the two controllers fight — measured on examples/bank, the ladder under
+// kAdaptive holds Q at N and costs ~250x wall clock vs letting RAC drop
+// to lock mode. Enable it for the regimes that actually starve: fixed-Q /
+// no-backoff deployments (the paper's livelock rows) that need a
+// per-transaction progress bound.
+struct EscalationConfig {
+  bool enabled = false;
+  std::uint64_t aging_after = 64;
+  std::uint64_t serial_after = 256;
+};
+
 struct ViewConfig {
   stm::Algo algo = stm::Algo::kNOrec;
   std::size_t initial_bytes = std::size_t{1} << 20;
@@ -56,6 +80,11 @@ struct ViewConfig {
 
   stm::EngineConfig engine{};
   BackoffPolicy backoff = BackoffPolicy::kNone;  // paper default: no backoff
+
+  // Progress guarantee for starving transactions. Requires admission
+  // control (rac != kDisabled) for the serial rung — without a controller
+  // there is nothing to drain, so only the aging rung applies.
+  EscalationConfig escalation{};
 
   // Per-view adaptive TM algorithm selection (paper Sec. IV-C). Only active
   // together with RacMode::kAdaptive: decisions ride the same epochs as

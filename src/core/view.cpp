@@ -61,6 +61,18 @@ void View::free(void* ptr) {
 
 void View::enter(ThreadCtx& tc, bool read_only) {
   stm::TxThread& tx = tc.tx;
+  // Misuse guard before any state is touched: entering with a transaction
+  // already live would silently overwrite the checkpoint/rollback hooks
+  // (nested same-view acquire) or run one thread in two views' admission
+  // ledgers at once. Both were UB; make them a defined, diagnosable error.
+  if (tx.in_tx) {
+    throw std::logic_error(
+        tc.active_view == this
+            ? "acquire_view: nested acquire of the same view (the view API "
+              "does not nest; finish or abort the open transaction first)"
+            : "acquire_view: this thread already runs a transaction on "
+              "another view");
+  }
   tc.active_view = this;
   tx.read_only = read_only;
   tx.stats = &totals_;
@@ -72,6 +84,19 @@ void View::enter(ThreadCtx& tc, bool read_only) {
 
   stm::TxEngine* engine = nullptr;
   if (config_.rac != RacMode::kDisabled) {
+    // Escalation rung 2 (DESIGN.md §14): past serial_after consecutive
+    // aborts the transaction stops gambling — it takes the view's serial
+    // token (drains every admitted peer, pins effective Q = 1) and runs
+    // irrevocably. begin_serial cannot abort, so serial_after bounds the
+    // total aborts of any transaction: the progress guarantee.
+    if (config_.escalation.enabled &&
+        tx.consecutive_aborts >= config_.escalation.serial_after) {
+      admission_.acquire_serial();
+      // Sampled after the serial drain; same ordering argument as below.
+      engine = engine_.get();
+      engine->begin_serial(tx);
+      return;
+    }
     const unsigned q = admission_.admit();
     // engine_ must be sampled only after admission: switch_algorithm swaps
     // it while the view is paused and drained, and the admission gate's
@@ -93,10 +118,22 @@ void View::enter(ThreadCtx& tc, bool read_only) {
 
 void View::exit(ThreadCtx& tc) {
   stm::TxThread& tx = tc.tx;
-  // May not return: a failed commit conflicts, which rolls back, leaves the
-  // admission controller (rollback_trampoline) and transfers control to the
-  // retry point.
-  tx.engine->commit(tx);
+  if (!tx.in_tx || tc.active_view != this) {
+    throw std::logic_error(
+        tc.active_view != nullptr && tc.active_view != this
+            ? "release_view: open transaction belongs to a different view"
+            : "release_view without a matching acquire_view");
+  }
+  const bool serial = tx.serial;
+  if (serial) {
+    // Irrevocable: end_serial cannot fail, so everything below runs.
+    tx.engine->end_serial(tx);
+  } else {
+    // May not return: a failed commit conflicts, which rolls back, leaves
+    // the admission controller (rollback_trampoline) and transfers control
+    // to the retry point.
+    tx.engine->commit(tx);
+  }
 
   tx.last_tx_cycles = stm::tx_elapsed_cycles(tx);
   totals_.add_commit(tx.last_tx_cycles);
@@ -111,7 +148,11 @@ void View::exit(ThreadCtx& tc) {
   tc.active_view = nullptr;
 
   if (config_.rac != RacMode::kDisabled) {
-    admission_.leave();
+    if (serial) {
+      admission_.release_serial();
+    } else {
+      admission_.leave();
+    }
   }
   note_event(tc);
 }
@@ -129,20 +170,62 @@ void View::misuse_trampoline(stm::TxThread& tx) {
 }
 
 void View::handle_abort(ThreadCtx& tc) {
-  if (config_.collect_latency) abort_latency_.record(tc.tx.last_tx_cycles);
+  stm::TxThread& tx = tc.tx;
+  // A serial transaction cannot reach here through conflict() (irrevocable
+  // by construction), only through misuse(): it still holds the serial
+  // token, which must be returned instead of an ordinary leave.
+  const bool was_serial = tx.serial;
+  tx.serial = false;
+  if (config_.collect_latency) abort_latency_.record(tx.last_tx_cycles);
+  // Whole-run streak high-water mark (watchdog diagnostic). conflict()
+  // bumped the streak before invoking us.
+  const std::uint64_t streak = tx.consecutive_aborts;
+  std::uint64_t hwm = abort_streak_hwm_.load(std::memory_order_relaxed);
+  while (streak > hwm &&
+         !abort_streak_hwm_.compare_exchange_weak(
+             hwm, streak, std::memory_order_relaxed)) {
+  }
   undo_tx_allocs(tc);
   tc.tx_frees.clear();  // deferred frees die with the transaction
   if (config_.rac != RacMode::kDisabled) {
-    admission_.leave();
+    if (was_serial) {
+      admission_.release_serial();
+    } else {
+      admission_.leave();
+    }
   }
   note_event(tc);
+  aging_pause(tx, streak);
   // tc.active_view intentionally stays set: the retry re-enters this view.
+}
+
+void View::aging_pause(stm::TxThread& tx, std::uint64_t streak) {
+  const EscalationConfig& esc = config_.escalation;
+  if (!esc.enabled || streak < esc.aging_after || streak >= esc.serial_after) {
+    return;
+  }
+  // Under the cooperative harness a spin pause is pure schedule noise and
+  // would blow the bounded-exploration step budget; the ladder's timing
+  // rung is exercised by the real-thread tests instead.
+  if (votm::check::thread_intercepted()) return;
+  const stm::StatsSnapshot s = totals_.fold();
+  const std::uint64_t weight = s.aborts != 0 ? s.aborted_cycles / s.aborts : 0;
+  tx.backoff.pause_aged(weight,
+                        static_cast<unsigned>(streak - esc.aging_after));
 }
 
 void View::abort_for_exception(ThreadCtx& tc) {
   stm::TxThread& tx = tc.tx;
   const bool was_entered = tc.active_view == this;
-  if (tx.in_tx && tx.engine != nullptr) {
+  const bool was_serial = tx.serial;
+  // Roll back only a transaction this view owns: when the cross-view
+  // misuse guard in enter() fired, the open transaction belongs to another
+  // view, whose own exception handler (the guard's logic_error propagates
+  // through it) rolls back and accounts it against the right totals.
+  if (was_entered && tx.in_tx && tx.engine != nullptr) {
+    // For a serial transaction the engine rollback releases whatever
+    // global lock begin_serial pinned (NOrec/TML seqlock); its in-place
+    // writes stand, mutex semantics.
     tx.engine->rollback(tx);
     tx.clear_logs();
     // An exception-killed transaction is an abort like any other: its cycles
@@ -158,6 +241,7 @@ void View::abort_for_exception(ThreadCtx& tc) {
   // must not leak into this thread's next, unrelated transaction.
   tx.consecutive_aborts = 0;
   tx.backoff.reset();
+  tx.serial = false;
   undo_tx_allocs(tc);
   tc.tx_frees.clear();
   tc.active_view = nullptr;
@@ -165,7 +249,11 @@ void View::abort_for_exception(ThreadCtx& tc) {
   // active_view); a second leave() here would underflow P.
   if (was_entered) {
     if (config_.rac != RacMode::kDisabled) {
-      admission_.leave();
+      if (was_serial) {
+        admission_.release_serial();
+      } else {
+        admission_.leave();
+      }
     }
     note_event(tc);
   }

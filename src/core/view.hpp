@@ -32,6 +32,7 @@
 #include "stm/factory.hpp"
 #include "util/cacheline.hpp"
 #include "util/histogram.hpp"
+#include "util/watchdog.hpp"
 
 namespace votm::core {
 
@@ -96,6 +97,29 @@ class View {
     return trace_;
   }
 
+  // One watchdog poll of this view's health counters. Cheap enough to call
+  // on a 50ms period (one stats fold + three atomic loads); wire into a
+  // LivelockWatchdog as `[&] { return view.health(); }`.
+  WatchdogSample health() const noexcept {
+    const stm::StatsSnapshot s = totals_.fold();
+    WatchdogSample w;
+    w.commits = s.commits;
+    w.aborts = s.aborts;
+    w.consecutive_abort_hwm =
+        abort_streak_hwm_.load(std::memory_order_relaxed);
+    w.quota = admission_.quota();
+    w.admitted = admission_.admitted();
+    w.serial_holder = admission_.serial_holder();
+    return w;
+  }
+
+  // Worst consecutive-abort streak any transaction on this view has
+  // reached (whole-run high-water mark; escalation resets the streak but
+  // not the mark).
+  std::uint64_t consecutive_abort_hwm() const noexcept {
+    return abort_streak_hwm_.load(std::memory_order_relaxed);
+  }
+
   // Manual quota override (e.g. the paper's "programmer sets Q of a hot
   // view to 1"); honours the lock-mode drain protocol.
   void set_quota(unsigned q);
@@ -141,6 +165,10 @@ class View {
   static void misuse_trampoline(stm::TxThread& tx);
   void handle_abort(ThreadCtx& tc);
 
+  // Escalation rung 1 (aging_after <= streak < serial_after): pace the
+  // retry by the view's average aborted-transaction cost.
+  void aging_pause(stm::TxThread& tx, std::uint64_t streak);
+
   // User exception escaped the body: roll back and release everything
   // without retrying.
   void abort_for_exception(ThreadCtx& tc);
@@ -164,6 +192,10 @@ class View {
   mutable std::mutex algo_mu_;  // guards config_.algo reads vs switches
 
   stm::StripedEpochStats totals_;
+  // Whole-run consecutive-abort high-water mark (watchdog diagnostic).
+  // Updated on the abort path only, where a relaxed CAS-max is noise next
+  // to the rollback itself.
+  std::atomic<std::uint64_t> abort_streak_hwm_{0};
   unsigned adapt_check_stride_ = 1;
   Log2Histogram commit_latency_;
   Log2Histogram abort_latency_;

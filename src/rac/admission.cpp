@@ -13,8 +13,11 @@ std::uint64_t next_serial() noexcept {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-// Drain loops poll the slot sums on this period: the open-mode fast path
-// never notifies, so the closer wakes itself. Gate transitions are rare
+// Poll period for every condvar wait in this file. Drain loops need it
+// because the open-mode fast path never notifies (the closer wakes
+// itself); the parking loops use the same bound so a lost or dropped
+// notify (see FaultSite::kAdmLostNotify) degrades to a 100us stall
+// instead of a permanent hang. Gate transitions and parking are rare
 // (adaptation epochs are millisecond-scale); 100us adds nothing visible.
 constexpr auto kDrainPoll = std::chrono::microseconds(100);
 
@@ -160,14 +163,10 @@ unsigned AdmissionController::admit_park() {
   state_.fetch_add(kWOne, std::memory_order_relaxed);
   unsigned q = 0;
   while (!try_admit(&q)) {
-    // Residue residents leave through their slots without touching mu_, so
-    // poll while the bit is set; every other waker (gated leave, resume,
-    // set_quota) follows the lock-then-notify protocol.
-    if (state_.load(std::memory_order_acquire) & kResidueBit) {
-      cv_.wait_for(lk, kDrainPoll);
-    } else {
-      cv_.wait(lk);
-    }
+    // Bounded wait, never a bare wait: residue residents leave through
+    // their slots without ever notifying, and even on the lock-then-notify
+    // paths a missed wakeup must cost one poll period, not a hang.
+    cv_.wait_for(lk, kDrainPoll);
   }
   state_.fetch_sub(kWOne, std::memory_order_relaxed);
   return q;
@@ -179,6 +178,10 @@ void AdmissionController::leave_wake(std::uint64_t old_word) {
   // here could deadlock against a slow-path mutator parked at a sched
   // point while holding it.
   if (votm::check::thread_intercepted()) return;
+  // Availability fault: this leave's notify never happens. The wait_for
+  // re-check bounds the damage to one poll period — the regression test
+  // in tests/test_fault.cpp pins that down.
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   const bool drained = p_of(old_word) == 1;
   { std::lock_guard<std::mutex> lk(mu_); }  // pair with a parker's re-check
   // A drain waiter (pause / set_quota leaving lock mode) may be parked;
@@ -287,7 +290,7 @@ void AdmissionController::set_quota(unsigned q) {
         if (votm::check::thread_intercepted()) {
           VOTM_SCHED_YIELD_POINT(kAdmSetQuotaDrain);
         } else {
-          cv_.wait(lk);
+          cv_.wait_for(lk, kDrainPoll);
         }
       }
       state_.fetch_sub(kWOne, std::memory_order_relaxed);
@@ -308,19 +311,117 @@ void AdmissionController::set_quota(unsigned q) {
 }
 
 // ---------------------------------------------------------------------------
+// Serial token (escalation ladder, DESIGN.md §14).
+//
+// acquire_serial() is pause() with a twist: the SERIAL bit closes the gate
+// the same way PAUSED does (it is part of gate_closed/hard_closed, so both
+// the CAS fast path and the fence-free slot path refuse new admissions),
+// the same heavy-fence-then-drain sequence waits out the residents, but at
+// the end the caller self-admits instead of leaving the view empty — the
+// starving transaction runs as the sole resident, effective Q = 1, without
+// touching the configured quota. Mutual exclusion among escalating threads
+// comes from the token CAS itself (only one SERIAL bit).
+// ---------------------------------------------------------------------------
+
+void AdmissionController::acquire_serial() {
+  if (impl_ == AdmissionImpl::kMutex) return acquire_serial_mutex();
+  // Win the token. PAUSED/DRAIN transitions own the gate exclusively, so
+  // wait them out rather than interleaving a third protocol with them.
+  std::uint64_t w = state_.load(std::memory_order_acquire);
+  for (;;) {
+    if ((w & (kSerialBit | kPausedBit | kDrainBit)) == 0) {
+      VOTM_SCHED_POINT(kAdmSerialAcquire);
+      if (state_.compare_exchange_weak(w, (w | kSerialBit) & ~kOpenBit,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        break;
+      }
+      continue;
+    }
+    if (votm::check::thread_intercepted()) {
+      VOTM_SCHED_YIELD_POINT(kAdmSerialWait);
+      w = state_.load(std::memory_order_acquire);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      state_.fetch_add(kWOne, std::memory_order_relaxed);
+      while ((state_.load(std::memory_order_acquire) &
+              (kSerialBit | kPausedBit | kDrainBit)) != 0) {
+        cv_.wait_for(lk, kDrainPoll);
+      }
+      state_.fetch_sub(kWOne, std::memory_order_relaxed);
+    }
+    w = state_.load(std::memory_order_acquire);
+  }
+  // Gate closed; fence and drain exactly like pause() (the acquire reads
+  // below synchronize with the residents' release leaves, so everything
+  // they did inside the view is visible to the serial transaction).
+  asymmetric_fence_heavy();
+  VOTM_SCHED_POINT(kAdmSerialClosed);
+  {
+    std::unique_lock<std::mutex> lk = lock_slow_path();
+    state_.fetch_add(kWOne, std::memory_order_relaxed);
+    while (p_of(state_.load(std::memory_order_acquire)) != 0 ||
+           stripes_pending() != 0) {
+      if (votm::check::thread_intercepted()) {
+        VOTM_SCHED_YIELD_POINT(kAdmSerialDrain);
+      } else {
+        cv_.wait_for(lk, kDrainPoll);
+      }
+    }
+    state_.fetch_sub(kWOne, std::memory_order_relaxed);
+  }
+  // Mutation fault: the token evaporates after the drain, so a peer can be
+  // admitted while the "serial" transaction runs — exactly the bug class
+  // the serial-mutual-exclusion oracle exists to catch (test_fault.cpp
+  // proves it does, with a replayable schedule).
+  if (VOTM_FAULT(kSerialTokenDrop)) {
+    state_.fetch_and(~kSerialBit, std::memory_order_acq_rel);
+  }
+  // Self-admit as the sole resident. Plain add, not a gated CAS: the gate
+  // is closed to everyone else, so P is provably 0 here.
+  state_.fetch_add(kPOne, std::memory_order_acq_rel);
+  serial_holder_.store(static_cast<std::uint64_t>(thread_ordinal()) + 1,
+                       std::memory_order_release);
+}
+
+void AdmissionController::release_serial() {
+  if (impl_ == AdmissionImpl::kMutex) return release_serial_mutex();
+  serial_holder_.store(0, std::memory_order_release);
+  VOTM_SCHED_POINT(kAdmSerialRelease);
+  // One CAS drops the self-admission and the token together (and reopens
+  // gate-open mode when the quota qualifies). The &~ form stays correct
+  // even if the injected token drop already cleared the bit.
+  std::uint64_t w = state_.load(std::memory_order_acquire);
+  std::uint64_t next;
+  do {
+    next = maybe_open((w - kPOne) & ~kSerialBit);
+  } while (!state_.compare_exchange_weak(w, next, std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+  if (w_of(w) == 0) return;
+  if (votm::check::thread_intercepted()) return;
+  { std::lock_guard<std::mutex> lk(mu_); }  // pair with a parker's re-check
+  cv_.notify_all();  // admission waiters AND queued serial requesters
+}
+
+// ---------------------------------------------------------------------------
 // Legacy mutex implementation (A/B baseline for bench/micro_admission).
+// All waits are wait_for + re-check: a lost notify is a bounded stall.
 // ---------------------------------------------------------------------------
 
 unsigned AdmissionController::admit_mutex() {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return !paused_ && admitted_ < quota_; });
+  while (paused_ || serial_mode_ || admitted_ >= quota_) {
+    cv_.wait_for(lk, kDrainPoll);
+  }
   ++admitted_;
   return quota_;
 }
 
 bool AdmissionController::try_admit_mutex(unsigned* quota_out) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (paused_ || admitted_ >= quota_) return false;
+  if (paused_ || serial_mode_ || admitted_ >= quota_) return false;
   ++admitted_;
   if (quota_out != nullptr) *quota_out = quota_;
   return true;
@@ -346,7 +447,7 @@ void AdmissionController::leave_mutex() {
 void AdmissionController::pause_mutex() {
   std::unique_lock<std::mutex> lk(mu_);
   paused_ = true;  // stops new admissions immediately
-  cv_.wait(lk, [&] { return admitted_ == 0; });
+  while (admitted_ != 0) cv_.wait_for(lk, kDrainPoll);
 }
 
 void AdmissionController::resume_mutex() {
@@ -366,12 +467,33 @@ void AdmissionController::set_quota_mutex(unsigned q) {
     if (quota_ == 1 && clamped > 1) {
       // Leaving lock mode: wait until no lock-mode thread is inside, so a
       // newly admitted transactional thread can never overlap one.
-      cv_.wait(lk, [&] { return admitted_ == 0; });
+      while (admitted_ != 0) cv_.wait_for(lk, kDrainPoll);
     }
     raised = clamped > quota_;
     quota_ = clamped;
   }
   if (raised) cv_.notify_all();
+}
+
+void AdmissionController::acquire_serial_mutex() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (paused_ || serial_mode_) cv_.wait_for(lk, kDrainPoll);
+  serial_mode_ = true;  // gates new admissions (every predicate checks !serial_mode_)
+  while (admitted_ != 0) cv_.wait_for(lk, kDrainPoll);
+  if (VOTM_FAULT(kSerialTokenDrop)) serial_mode_ = false;
+  ++admitted_;  // self-admit as the sole resident
+  serial_holder_.store(static_cast<std::uint64_t>(thread_ordinal()) + 1,
+                       std::memory_order_release);
+}
+
+void AdmissionController::release_serial_mutex() {
+  serial_holder_.store(0, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --admitted_;
+    serial_mode_ = false;
+  }
+  cv_.notify_all();
 }
 
 }  // namespace votm::rac

@@ -22,6 +22,9 @@
 //   bit  50         OPEN   (gate-open mode, see below)
 //   bit  51         RESIDUE (slot residents from a closed gate-open epoch
 //                           still count against the quota until they leave)
+//   bit  52         SERIAL (escalation ladder: a starving transaction holds
+//                          the serial token; admissions blocked, effective
+//                          Q = 1 while it runs irrevocably — DESIGN.md §14)
 //
 // Gate-open mode: when Q == max_threads and the gate is neither paused nor
 // draining, admission can NEVER block — each of the <= max_threads threads
@@ -69,6 +72,7 @@
 #include <memory>
 #include <mutex>
 
+#include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "util/asymmetric_fence.hpp"
 #include "util/cacheline.hpp"
@@ -116,6 +120,12 @@ class AdmissionController {
       }
       while (!gate_closed(w) && p_of(w) < q_of(w)) {
         VOTM_SCHED_POINT(kAdmCas);
+        // Availability fault: the CAS loses as if a peer raced us; the loop
+        // re-examines the word, so a bounded plan only costs extra laps.
+        if (VOTM_FAULT(kAdmitCasFail)) {
+          w = state_.load(std::memory_order_acquire);
+          continue;
+        }
         if (state_.compare_exchange_weak(w, w + kPOne,
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
@@ -148,6 +158,10 @@ class AdmissionController {
       }
       if (p_of(w) >= q_of(w)) return false;
       VOTM_SCHED_POINT(kAdmCas);
+      if (VOTM_FAULT(kAdmitCasFail)) {
+        w = state_.load(std::memory_order_acquire);
+        continue;
+      }
       if (state_.compare_exchange_weak(w, w + kPOne,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
@@ -218,6 +232,36 @@ class AdmissionController {
   // Lowering, or changes between transactional quotas, apply immediately.
   void set_quota(unsigned q);
 
+  // ---- serial token (escalation ladder, DESIGN.md §14) --------------------
+  // Blocks until this thread exclusively owns the serial token: new
+  // admissions are fenced off (the SERIAL bit closes the gate exactly like
+  // PAUSED) and every already-admitted transaction has drained, then the
+  // caller self-admits as the sole resident — effective Q = 1 without
+  // touching the configured quota. The caller runs one irrevocable
+  // transaction and must call release_serial(). Must not be called while
+  // holding an admission. Calls do not nest.
+  void acquire_serial();
+
+  // Releases the token and the self-admission, reopens the gate and wakes
+  // every parked thread.
+  void release_serial();
+
+  // True while some thread holds (or is draining for) the serial token.
+  bool serial_active() const {
+    if (impl_ == AdmissionImpl::kMutex) {
+      std::lock_guard<std::mutex> lk(mu_);
+      return serial_mode_;
+    }
+    return (state_.load(std::memory_order_acquire) & kSerialBit) != 0;
+  }
+
+  // Thread ordinal of the current serial-token holder, or -1 when none.
+  // Diagnostic (watchdog / oracles): sampled racily by design.
+  int serial_holder() const noexcept {
+    const std::uint64_t h = serial_holder_.load(std::memory_order_acquire);
+    return h == 0 ? -1 : static_cast<int>(h - 1);
+  }
+
  private:
   // ---- packed-word helpers -----------------------------------------------
   static constexpr std::uint64_t kFieldMask = 0xFFFFu;
@@ -229,6 +273,7 @@ class AdmissionController {
   static constexpr std::uint64_t kDrainBit = std::uint64_t{1} << 49;
   static constexpr std::uint64_t kOpenBit = std::uint64_t{1} << 50;
   static constexpr std::uint64_t kResidueBit = std::uint64_t{1} << 51;
+  static constexpr std::uint64_t kSerialBit = std::uint64_t{1} << 52;
 
   static unsigned p_of(std::uint64_t w) noexcept {
     return static_cast<unsigned>(w & kFieldMask);
@@ -242,10 +287,10 @@ class AdmissionController {
   // True when the CAS fast path must defer to the slow path (hard-closed
   // gate, or residue accounting that needs the slot sums).
   static bool gate_closed(std::uint64_t w) noexcept {
-    return (w & (kPausedBit | kDrainBit | kResidueBit)) != 0;
+    return (w & (kPausedBit | kDrainBit | kResidueBit | kSerialBit)) != 0;
   }
   static bool hard_closed(std::uint64_t w) noexcept {
-    return (w & (kPausedBit | kDrainBit)) != 0;
+    return (w & (kPausedBit | kDrainBit | kSerialBit)) != 0;
   }
   static std::uint64_t with_quota(std::uint64_t w, unsigned q) noexcept {
     return (w & ~(kFieldMask << kQShift)) |
@@ -333,6 +378,8 @@ class AdmissionController {
   void pause_mutex();
   void resume_mutex();
   void set_quota_mutex(unsigned q);
+  void acquire_serial_mutex();
+  void release_serial_mutex();
   unsigned quota_mutex() const;
   unsigned admitted_mutex() const;
 
@@ -347,6 +394,10 @@ class AdmissionController {
   // by parked threads and their wakers.
   std::atomic<std::uint64_t> state_{0};
 
+  // Serial-token holder's thread ordinal + 1; 0 = none. Shared by both
+  // impls (diagnostic only — the token itself is kSerialBit / serial_mode_).
+  std::atomic<std::uint64_t> serial_holder_{0};
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
 
@@ -354,6 +405,7 @@ class AdmissionController {
   unsigned quota_ = 1;
   unsigned admitted_ = 0;
   bool paused_ = false;
+  bool serial_mode_ = false;
 };
 
 }  // namespace votm::rac

@@ -79,6 +79,10 @@ struct TxThread {
   std::uint64_t consecutive_aborts = 0;
   StripedEpochStats* stats = nullptr;  // owning view's counters (may be null)
   Backoff backoff{BackoffPolicy::kNone};
+  // Set between begin_serial() and end_serial(): the transaction holds the
+  // view's serial token, runs alone, and must not abort (escalation ladder,
+  // DESIGN.md §14). Engines branch to plain accesses on it.
+  bool serial = false;
 
   // Rolls back the active transaction and transfers control to the retry
   // point. Never returns.
@@ -120,6 +124,25 @@ class TxEngine {
   // Releases engine-held resources of an in-flight transaction (locks,
   // logs). Must be idempotent with respect to a cleanly finished tx.
   virtual void rollback(TxThread& tx) = 0;
+
+  // Irrevocable (serial) mode. The caller guarantees the transaction runs
+  // alone in its view (the admission controller holds the serial token and
+  // has drained every admitted peer), so between begin_serial() and
+  // end_serial() the engine must never call tx.conflict(): commit is
+  // unconditional. The defaults suit engines whose speculation is harmless
+  // when single-threaded (the orec engines commit a drained view's logs
+  // against an uncontended clock; CGL is already a critical section);
+  // NOrec and TML override to pin their global sequence lock so late
+  // concurrent beginners in the draining window wait instead of racing.
+  virtual void begin_serial(TxThread& tx) {
+    begin(tx);
+    tx.serial = true;
+  }
+  // Commits the serial transaction; must not fail.
+  virtual void end_serial(TxThread& tx) {
+    tx.serial = false;
+    commit(tx);
+  }
 };
 
 // Marks the logical start of a transaction for cycle accounting. Engines

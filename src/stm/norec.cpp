@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
@@ -48,7 +49,7 @@ bool NOrecEngine::commits_disjoint(std::uint64_t since, std::uint64_t upto,
     // read, so value validation must run. The fault switch models a buggy
     // filter that treats overlap as disjoint — the opacity oracle must
     // catch it (see test_schedules.cpp).
-    if (!VOTM_CHECK_FAULT(kNorecSkipFilterFallback) &&
+    if (!VOTM_FAULT(kNorecSkipFilterFallback) &&
         SigFilter::from_words(words).intersects(reads)) {
       return false;
     }
@@ -91,7 +92,7 @@ std::uint64_t NOrecEngine::validate(TxThread& tx) {
         continue;
       }
     }
-    if (!VOTM_CHECK_FAULT(kNorecSkipValidation) && !tx.vlog.values_match()) {
+    if (!VOTM_FAULT(kNorecSkipValidation) && !tx.vlog.values_match()) {
       tx.conflict(ConflictKind::kValidationFail);
     }
     if (seq.load(std::memory_order_acquire) == time) return time;
@@ -100,6 +101,9 @@ std::uint64_t NOrecEngine::validate(TxThread& tx) {
 
 Word NOrecEngine::read(TxThread& tx, const Word* addr) {
   VOTM_SCHED_POINT(kStmRead);
+  // Serial mode holds the sequence lock: nothing can commit under us, so
+  // the memory is the snapshot.
+  if (tx.serial) return load_word(addr);
   // Reads-after-writes come from the redo log.
   if (const Word* buffered = tx.wset.lookup(addr)) {
     return *buffered;
@@ -125,6 +129,12 @@ void NOrecEngine::write(TxThread& tx, Word* addr, Word value) {
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
+  // Serial mode writes in place: the transaction cannot abort, so no redo
+  // buffering is needed, and the held sequence lock keeps readers out.
+  if (tx.serial) {
+    store_word(addr, value);
+    return;
+  }
   tx.wset.insert(addr, value);
 }
 
@@ -136,6 +146,12 @@ void NOrecEngine::commit(TxThread& tx) {
     // set was consistent at `snapshot`; nothing to publish.
     tx.vlog.clear();
     return;
+  }
+  // Availability fault: a spurious commit-time failure, injected before any
+  // publication so rollback is trivially clean. Drives the escalation
+  // ladder in the starvation campaigns.
+  if (VOTM_FAULT(kNorecCommitTail)) {
+    tx.conflict(ConflictKind::kValidationFail);
   }
   // Acquire the sequence lock at our snapshot (value-based revalidation on
   // every interleaved commit). The CAS expected value is a local: on
@@ -164,9 +180,52 @@ void NOrecEngine::commit(TxThread& tx) {
 }
 
 void NOrecEngine::rollback(TxThread& tx) {
+  // A serial transaction dying to a user exception still holds the
+  // sequence lock (odd at tx.snapshot); release it or the view wedges.
+  // Its in-place writes stand — serial mode has mutex semantics.
+  if (tx.serial) {
+    seqlock_.value.store(tx.snapshot + 2, std::memory_order_release);
+    tx.serial = false;
+    return;
+  }
   // Nothing published before commit; buffered state is discarded by the
   // caller via clear_logs(). (Method kept non-trivial-free for symmetry.)
   (void)tx;
+}
+
+void NOrecEngine::begin_serial(TxThread& tx) {
+  // Take the sequence lock for the whole transaction. The admission drain
+  // guarantees no peer is admitted in this view, but a writer that was
+  // mid-commit when the token was granted may still hold the lock — spin
+  // it out exactly like begin() does.
+  auto& seq = seqlock_.value;
+  int spins = 0;
+  for (;;) {
+    std::uint64_t even = seq.load(std::memory_order_acquire);
+    if ((even & 1) == 0 &&
+        seq.compare_exchange_weak(even, even + 1, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      tx.snapshot = even;
+      break;
+    }
+    VOTM_SCHED_YIELD_POINT(kStmWaitSeq);
+    Backoff::cpu_relax();
+    if (++spins > 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  begin_common(tx, this);
+  tx.serial = true;
+}
+
+void NOrecEngine::end_serial(TxThread& tx) {
+  // Release the sequence lock. The bump (snapshot+2 parity, odd→even)
+  // makes concurrent snapshots taken before begin_serial revalidate, same
+  // as any committed writer.
+  tx.serial = false;
+  seqlock_.value.store(tx.snapshot + 2, std::memory_order_release);
+  tx.clear_logs();
 }
 
 }  // namespace votm::stm

@@ -46,6 +46,12 @@ class NOrecEngine final : public TxEngine {
   void commit(TxThread& tx) override;
   void rollback(TxThread& tx) override;
 
+  // Irrevocable mode: acquires the sequence lock (odd) for the whole
+  // transaction, so reads and writes go straight to memory and commit is a
+  // single release store. See DESIGN.md §14.
+  void begin_serial(TxThread& tx) override;
+  void end_serial(TxThread& tx) override;
+
   // Exposed for tests and the metadata-contention microbench.
   std::uint64_t sequence() const noexcept {
     return seqlock_.value.load(std::memory_order_relaxed);

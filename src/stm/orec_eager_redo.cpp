@@ -1,5 +1,6 @@
 #include "stm/orec_eager_redo.hpp"
 
+#include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
@@ -38,6 +39,8 @@ void OrecEagerRedoEngine::extend(TxThread& tx) {
 
 Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
   VOTM_SCHED_POINT(kStmRead);
+  // Serial mode runs alone in a drained view: plain access, no logging.
+  if (tx.serial) return load_word(addr);
   if (const Word* buffered = tx.wset.lookup(addr)) {
     return *buffered;
   }
@@ -73,6 +76,10 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
+  if (tx.serial) {
+    store_word(addr, value);
+    return;
+  }
   Orec& o = orecs_.for_address(addr);
   for (;;) {
     const Orec::Packed p = o.load();
@@ -100,6 +107,11 @@ void OrecEagerRedoEngine::commit(TxThread& tx) {
     // incremental validation/extension discipline.
     tx.clear_logs();
     return;
+  }
+  // Availability fault: a spurious commit failure before the clock ticket,
+  // where rollback is still clean (locks release to old versions).
+  if (VOTM_FAULT(kOrecEagerRedoCommitTail)) {
+    tx.conflict(ConflictKind::kCommitFail);
   }
   VOTM_SCHED_POINT(kStmCommitLock);
   VOTM_SCHED_POINT(kStmCommitWriteback);

@@ -1,5 +1,6 @@
 #include "stm/orec_eager_undo.hpp"
 
+#include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
@@ -39,6 +40,8 @@ void OrecEagerUndoEngine::extend(TxThread& tx) {
 
 Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
   VOTM_SCHED_POINT(kStmRead);
+  // Serial mode runs alone in a drained view: plain access, no logging.
+  if (tx.serial) return load_word(addr);
   Orec& o = orecs_.for_address(addr);
   for (;;) {
     const Orec::Packed before = o.load();
@@ -67,6 +70,10 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
   VOTM_SCHED_POINT(kStmWrite);
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
+  }
+  if (tx.serial) {
+    store_word(addr, value);
+    return;
   }
   Orec& o = orecs_.for_address(addr);
   for (;;) {
@@ -97,6 +104,11 @@ void OrecEagerUndoEngine::commit(TxThread& tx) {
   if (tx.wlocks.empty()) {
     tx.clear_logs();
     return;
+  }
+  // Availability fault: a spurious commit failure before the clock ticket;
+  // conflict() -> rollback() restores the write-through values cleanly.
+  if (VOTM_FAULT(kOrecEagerUndoCommitTail)) {
+    tx.conflict(ConflictKind::kCommitFail);
   }
   VOTM_SCHED_POINT(kStmCommitLock);
   const std::uint64_t end_time =

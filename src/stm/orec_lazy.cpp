@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
@@ -37,6 +38,8 @@ void OrecLazyEngine::extend(TxThread& tx) {
 
 Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
   VOTM_SCHED_POINT(kStmRead);
+  // Serial mode runs alone in a drained view: plain access, no logging.
+  if (tx.serial) return load_word(addr);
   if (const Word* buffered = tx.wset.lookup(addr)) {
     return *buffered;
   }
@@ -75,6 +78,10 @@ void OrecLazyEngine::write(TxThread& tx, Word* addr, Word value) {
   if (tx.read_only) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
+  if (tx.serial) {
+    store_word(addr, value);
+    return;
+  }
   tx.wset.insert(addr, value);  // lazy: no lock until commit
 }
 
@@ -83,6 +90,11 @@ void OrecLazyEngine::commit(TxThread& tx) {
   if (tx.wset.empty()) {
     tx.clear_logs();
     return;
+  }
+  // Availability fault: a spurious commit failure before any lock is
+  // taken, so rollback has nothing to release.
+  if (VOTM_FAULT(kOrecLazyCommitTail)) {
+    tx.conflict(ConflictKind::kCommitFail);
   }
   // Acquire all write locks now (commit time). A foreign lock or a version
   // newer than our snapshot kills the transaction here — the rollback path

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <thread>
 
+#include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
 
@@ -45,6 +46,10 @@ void TmlEngine::write(TxThread& tx, Word* addr, Word value) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
   if (!holds_lock(tx)) {
+    // Availability fault: the acquisition loses as if a writer beat us.
+    if (VOTM_FAULT(kTmlAcquireFail)) {
+      tx.conflict(ConflictKind::kWriteLocked);
+    }
     // First write: acquire the sequence lock; from here the transaction is
     // irrevocable and writes go in place.
     std::uint64_t expected = tx.snapshot;
@@ -66,6 +71,32 @@ void TmlEngine::commit(TxThread& tx) {
     seqlock_.value.store(tx.snapshot + 1, std::memory_order_release);
   }
   tx.clear_logs();
+}
+
+void TmlEngine::begin_serial(TxThread& tx) {
+  // Acquire the sequence lock before running: the serial transaction is
+  // the exclusive irrevocable writer from its first instruction, and the
+  // engine's existing holds_lock() paths do the rest (plain reads/writes,
+  // release in commit — reached via the default end_serial — or rollback).
+  auto& seq = seqlock_.value;
+  int spins = 0;
+  for (;;) {
+    std::uint64_t even = seq.load(std::memory_order_acquire);
+    if ((even & 1) == 0 &&
+        seq.compare_exchange_weak(even, even + 1, std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      tx.snapshot = even + 1;  // odd: we hold the lock
+      break;
+    }
+    VOTM_SCHED_YIELD_POINT(kStmWaitSeq);
+    Backoff::cpu_relax();
+    if (++spins > 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  begin_common(tx, this);
+  tx.serial = true;
 }
 
 void TmlEngine::rollback(TxThread& tx) {

@@ -24,6 +24,11 @@ class TmlEngine final : public TxEngine {
   void commit(TxThread& tx) override;
   void rollback(TxThread& tx) override;
 
+  // Irrevocable mode: acquire the sequence lock up front instead of at the
+  // first write — the existing holds_lock() paths (plain accesses, release
+  // on commit/rollback) then already are the irrevocable protocol.
+  void begin_serial(TxThread& tx) override;
+
  private:
   bool holds_lock(const TxThread& tx) const noexcept {
     return (tx.snapshot & 1) != 0;

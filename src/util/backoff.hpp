@@ -5,12 +5,19 @@
 // and V. ExponentialBackoff exists for the ablation benches
 // (bench/ablation_backoff) that quantify how much of the livelock the
 // contention manager alone could have avoided.
+//
+// pause_aged() is the escalation ladder's middle rung (DESIGN.md §14):
+// after k1 consecutive aborts the View layer stops using the configured
+// policy and paces retries by the view's own average aborted-transaction
+// cost, doubled per extra abort — priority aging weighted by wasted cycles
+// rather than a blind exponential.
 #pragma once
 
 #include <cstdint>
 #include <thread>
 
 #include "util/rng.hpp"
+#include "util/thread_ordinal.hpp"
 
 namespace votm {
 
@@ -22,8 +29,15 @@ enum class BackoffPolicy : std::uint8_t {
 
 class Backoff {
  public:
+  // The thread ordinal is mixed into the seed: with one fixed seed every
+  // thread draws the identical spin-window sequence, so "randomized"
+  // backoff had all losers of a conflict sleep in lockstep and collide
+  // again on wake. SplitMix64 decorrelates the streams cheaply.
   explicit Backoff(BackoffPolicy policy, std::uint64_t seed = 0xb0ffULL) noexcept
-      : policy_(policy), rng_(seed) {}
+      : policy_(policy),
+        rng_(SplitMix64(seed ^ (std::uint64_t{thread_ordinal()} + 1) *
+                                   0x9e3779b97f4a7c15ULL)
+                 .next()) {}
 
   void reset() noexcept { exponent_ = kMinExponent; }
 
@@ -39,7 +53,11 @@ class Backoff {
         std::this_thread::yield();
         return;
       case BackoffPolicy::kExponential: {
-        const std::uint64_t limit = 1ULL << exponent_;
+        // Clamp before shifting: exponent_ only ever moves through the
+        // [kMin, kMax] band below, but a shift count must be provably < 64
+        // here, not by assumption three members away.
+        const int e = exponent_ < kMaxExponent ? exponent_ : kMaxExponent;
+        const std::uint64_t limit = 1ULL << e;
         const std::uint64_t spins = rng_.below(limit) + 1;
         for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
         if (exponent_ < kMaxExponent) ++exponent_;
@@ -48,6 +66,28 @@ class Backoff {
         if (exponent_ > 16) std::this_thread::yield();
         return;
       }
+    }
+  }
+
+  // Priority aging (escalation ladder, k1 <= streak < k2): pause for a
+  // randomized window proportional to `weight` — the view's average
+  // aborted-transaction cost in cycles — doubled per aging `level`. A
+  // starving transaction thus waits roughly "one victim transaction" the
+  // first time and exponentially longer after, independent of the
+  // configured policy (which may be kNone, the paper default).
+  void pause_aged(std::uint64_t weight, unsigned level) noexcept {
+    if (weight < kMinAgedWindow) weight = kMinAgedWindow;
+    if (weight > kMaxAgedWindow) weight = kMaxAgedWindow;
+    const unsigned shift = level < kMaxAgedShift ? level : kMaxAgedShift;
+    std::uint64_t limit = weight << shift;
+    if (limit > kMaxAgedWindow) limit = kMaxAgedWindow;
+    // Half deterministic, half jittered: the floor guarantees the aged
+    // thread really yields the conflict window; the jitter decorrelates
+    // two aged threads from re-colliding forever.
+    const std::uint64_t spins = limit / 2 + rng_.below(limit / 2 + 1);
+    for (std::uint64_t i = 0; i < spins; ++i) {
+      cpu_relax();
+      if ((i & 0x3FFF) == 0x3FFF) std::this_thread::yield();
     }
   }
 
@@ -62,6 +102,9 @@ class Backoff {
  private:
   static constexpr int kMinExponent = 4;
   static constexpr int kMaxExponent = 20;
+  static constexpr unsigned kMaxAgedShift = 8;
+  static constexpr std::uint64_t kMinAgedWindow = 64;
+  static constexpr std::uint64_t kMaxAgedWindow = 1ULL << 22;
 
   BackoffPolicy policy_;
   Xoshiro256 rng_;

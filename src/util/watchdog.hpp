@@ -1,0 +1,148 @@
+// Livelock watchdog: turns silent spinning into a structured diagnostic.
+//
+// The paper's default contention manager is immediate retry, so a view can
+// livelock (Tables III/V) with every health metric the admission controller
+// exports looking nominal — quota steady, P == Q, threads busy. The
+// watchdog samples a view's monotonic commit/abort totals on a fixed period
+// from a background thread and applies the one signal that distinguishes
+// livelock from load: a window with abort traffic and ZERO commits. After
+// `strikes` consecutive such windows it raises a diagnostic carrying what
+// an operator (or test) needs to see: the window rates, the worst
+// consecutive-abort streak any transaction has suffered, the current
+// quota/admitted pair, and who (if anyone) holds the serial token.
+//
+// Deliberately an observer, not an actor: recovery is the escalation
+// ladder's job (core/view.cpp); the watchdog exists so that if the ladder
+// is disabled — or ever insufficient — the failure is loud and diagnosable
+// instead of a hung benchmark. Header-only, no dependency on core; the
+// View exposes health() returning a WatchdogSample, and anything callable
+// with that shape plugs in.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace votm {
+
+// One poll of a view's health counters. commits/aborts are monotonic
+// whole-run totals; the watchdog differences consecutive samples itself.
+struct WatchdogSample {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t consecutive_abort_hwm = 0;  // worst streak seen so far
+  unsigned quota = 0;
+  unsigned admitted = 0;
+  int serial_holder = -1;  // thread ordinal, -1 = token not held
+};
+
+// Raised (via the alarm callback) after `strikes` consecutive zero-commit,
+// nonzero-abort windows.
+struct WatchdogDiagnostic {
+  std::uint64_t window_commits = 0;
+  std::uint64_t window_aborts = 0;
+  std::uint64_t consecutive_abort_hwm = 0;
+  unsigned quota = 0;
+  unsigned admitted = 0;
+  int serial_holder = -1;
+  unsigned consecutive_bad_windows = 0;
+
+  std::string to_string() const {
+    std::string s = "livelock watchdog: ";
+    s += std::to_string(consecutive_bad_windows);
+    s += " window(s) with 0 commits / ";
+    s += std::to_string(window_aborts);
+    s += " aborts; abort-streak hwm ";
+    s += std::to_string(consecutive_abort_hwm);
+    s += ", quota ";
+    s += std::to_string(quota);
+    s += ", admitted ";
+    s += std::to_string(admitted);
+    s += ", serial holder ";
+    s += serial_holder < 0 ? std::string("none")
+                           : std::to_string(serial_holder);
+    return s;
+  }
+};
+
+// Namespace-scope (not nested): a nested struct's default member
+// initializers would not be usable in the constructor's default argument
+// below until the enclosing class is complete.
+struct WatchdogOptions {
+  std::chrono::milliseconds period{50};
+  unsigned strikes = 3;  // consecutive bad windows before the alarm
+  // Ignore windows with fewer aborts than this: a couple of stray aborts
+  // between two samples of an idle view is churn, not livelock.
+  std::uint64_t min_window_aborts = 1;
+};
+
+class LivelockWatchdog {
+ public:
+  using Options = WatchdogOptions;
+
+  using Sampler = std::function<WatchdogSample()>;
+  using Alarm = std::function<void(const WatchdogDiagnostic&)>;
+
+  LivelockWatchdog(Sampler sampler, Alarm alarm, Options options = Options())
+      : sampler_(std::move(sampler)),
+        alarm_(std::move(alarm)),
+        options_(options),
+        thread_([this] { run(); }) {}
+
+  ~LivelockWatchdog() { stop(); }
+
+  LivelockWatchdog(const LivelockWatchdog&) = delete;
+  LivelockWatchdog& operator=(const LivelockWatchdog&) = delete;
+
+  void stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint64_t alarms_raised() const noexcept {
+    return alarms_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run() {
+    WatchdogSample prev = sampler_();
+    unsigned bad = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(options_.period);
+      const WatchdogSample now = sampler_();
+      const std::uint64_t dc = now.commits - prev.commits;
+      const std::uint64_t da = now.aborts - prev.aborts;
+      prev = now;
+      if (dc == 0 && da >= options_.min_window_aborts) {
+        ++bad;
+      } else {
+        bad = 0;
+        continue;
+      }
+      if (bad < options_.strikes) continue;
+      WatchdogDiagnostic d;
+      d.window_commits = dc;
+      d.window_aborts = da;
+      d.consecutive_abort_hwm = now.consecutive_abort_hwm;
+      d.quota = now.quota;
+      d.admitted = now.admitted;
+      d.serial_holder = now.serial_holder;
+      d.consecutive_bad_windows = bad;
+      alarms_.fetch_add(1, std::memory_order_acq_rel);
+      alarm_(d);
+      bad = 0;  // re-arm: keep firing every `strikes` windows if stuck
+    }
+  }
+
+  Sampler sampler_;
+  Alarm alarm_;
+  const Options options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> alarms_{0};
+  std::thread thread_;
+};
+
+}  // namespace votm

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "check/explore.hpp"
+#include "check/fault.hpp"
 #include "check/scenarios.hpp"
 #include "stm/signature.hpp"
 
@@ -150,7 +151,7 @@ TEST(FaultInjection, NorecValidationSkipIsCaughtAndReplayable) {
   const auto clean = explore_random(scenario, 100, 0x5EED);
   ASSERT_TRUE(clean.clean()) << clean.repro;
 
-  FaultGuard fault(Fault::kNorecSkipValidation);
+  FaultGuard fault(FaultSite::kNorecSkipValidation);
   const auto report = explore_random(scenario, 2000, 0x5EED);
   ASSERT_FALSE(report.clean())
       << "validation-skip mutant survived " << report.runs << " schedules";
@@ -184,7 +185,7 @@ TEST(FaultInjection, NorecFilterFallbackSkipIsCaughtAndReplayable) {
   const auto clean = explore_random(scenario, 100, 0xF117);
   ASSERT_TRUE(clean.clean()) << clean.repro;
 
-  FaultGuard fault(Fault::kNorecSkipFilterFallback);
+  FaultGuard fault(FaultSite::kNorecSkipFilterFallback);
   const auto report = explore_random(scenario, 2000, 0xF117);
   ASSERT_FALSE(report.clean())
       << "filter-fallback-skip mutant survived " << report.runs
@@ -202,7 +203,7 @@ TEST(FaultInjection, ExhaustiveFindsNorecValidationSkip) {
   cfg.reads_per_reader = 1;
   cfg.txs_per_writer = 1;
   StmSnapshotScenario scenario(cfg);
-  FaultGuard fault(Fault::kNorecSkipValidation);
+  FaultGuard fault(FaultSite::kNorecSkipValidation);
   const auto report = explore_exhaustive(scenario, /*max_runs=*/50000);
   ASSERT_FALSE(report.clean()) << "mutant survived exhaustive enumeration";
   EXPECT_FALSE(report.schedule.empty());
@@ -263,6 +264,35 @@ TEST(ViewStats, CleanRunAllEngines) {
     const auto report = explore_random(scenario, 20, 0x7157A75);
     EXPECT_TRUE(report.clean()) << report.repro;
   }
+}
+
+// The progress guarantee under the adversarial schedule: the victim loses
+// EVERY ordinary conflict (marked commit-tail fault) with no backoff
+// configured, and must still commit within serial_after + 1 attempts via
+// the serial rung. The scenario's oracles also pin serial mutual exclusion
+// and ledger conservation on every explored schedule.
+TEST(Escalation, StarvationFreedomAcrossEngines) {
+  for (stm::Algo algo : kAllAlgos) {
+    EscalationScenarioConfig cfg;
+    cfg.algo = algo;
+    EscalationScenario scenario(cfg);
+    const auto report = explore_random(scenario, 25, 0x57A12);
+    EXPECT_TRUE(report.clean()) << report.repro;
+    EXPECT_EQ(report.runs, 25u);
+  }
+}
+
+TEST(Escalation, StarvationFreedomThreeThreads) {
+  // Two unfaulted peers: the serial drain displaces a genuinely contended
+  // view, and the token queue sees concurrent ordinary admissions.
+  EscalationScenarioConfig cfg;
+  cfg.algo = stm::Algo::kOrecEagerRedo;
+  cfg.threads = 3;
+  cfg.max_threads = 3;
+  cfg.serial_after = 2;
+  EscalationScenario scenario(cfg);
+  const auto report = explore_random(scenario, 25, 0x57A13);
+  EXPECT_TRUE(report.clean()) << report.repro;
 }
 
 // The acceptance-bar campaign (10k random schedules) is minutes of work on

@@ -1,7 +1,11 @@
 // Unit tests for src/util: RNG determinism and distribution sanity,
-// number formatting, running statistics, backoff, barrier.
+// number formatting, running statistics, backoff, barrier, the livelock
+// watchdog.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -13,6 +17,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/stop_token.hpp"
+#include "util/watchdog.hpp"
 
 namespace votm {
 namespace {
@@ -126,6 +131,28 @@ TEST(BackoffTest, PoliciesDoNotHang) {
   }
 }
 
+TEST(BackoffTest, ExponentialLevelIsClampedPastWordWidth) {
+  // Regression: 100+ consecutive pauses used to shift 1ULL past 63 bits
+  // (UB, and on the escape the window wrapped to tiny values). The level
+  // must clamp so deep retry streaks keep the capped maximum window.
+  Backoff b(BackoffPolicy::kExponential);
+  for (int i = 0; i < 200; ++i) b.pause();
+  b.reset();
+}
+
+TEST(BackoffTest, AgedPauseBoundedAtAllWeights) {
+  Backoff b(BackoffPolicy::kNone);  // aging applies regardless of policy
+  // Degenerate weights (0, tiny, huge) and deep levels must all clamp to
+  // the bounded window rather than hanging or shifting past the word.
+  for (const std::uint64_t weight :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{1} << 40,
+        ~std::uint64_t{0}}) {
+    for (unsigned level : {0u, 1u, 8u, 200u}) {
+      b.pause_aged(weight, level);
+    }
+  }
+}
+
 TEST(BarrierTest, ReleasesAllParties) {
   constexpr unsigned kThreads = 8;
   StartBarrier barrier(kThreads);
@@ -234,6 +261,70 @@ TEST(HistogramTest, SummaryListsNonEmptyBuckets) {
   h.record(5);
   h.record(5);
   EXPECT_EQ(h.summary(), "4:2");
+}
+
+TEST(WatchdogTest, RaisesAfterConsecutiveZeroCommitWindows) {
+  // Synthetic livelock: aborts climb every sample, commits never move.
+  std::atomic<std::uint64_t> aborts{0};
+  std::atomic<std::uint64_t> alarm_seen{0};
+  WatchdogDiagnostic last;
+  std::mutex last_mu;
+  LivelockWatchdog::Options opt;
+  opt.period = std::chrono::milliseconds(5);
+  opt.strikes = 3;
+  LivelockWatchdog dog(
+      [&] {
+        WatchdogSample s;
+        s.commits = 7;  // frozen
+        s.aborts = aborts.fetch_add(10, std::memory_order_relaxed) + 10;
+        s.consecutive_abort_hwm = 42;
+        s.quota = 4;
+        s.admitted = 4;
+        return s;
+      },
+      [&](const WatchdogDiagnostic& d) {
+        std::lock_guard<std::mutex> lk(last_mu);
+        last = d;
+        alarm_seen.fetch_add(1, std::memory_order_release);
+      },
+      opt);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (alarm_seen.load(std::memory_order_acquire) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  dog.stop();
+  ASSERT_GE(dog.alarms_raised(), 1u) << "no alarm within 10s of livelock";
+  std::lock_guard<std::mutex> lk(last_mu);
+  EXPECT_EQ(last.window_commits, 0u);
+  EXPECT_GE(last.window_aborts, 10u);
+  EXPECT_EQ(last.consecutive_abort_hwm, 42u);
+  EXPECT_EQ(last.quota, 4u);
+  EXPECT_EQ(last.consecutive_bad_windows, 3u);
+  EXPECT_NE(last.to_string().find("livelock watchdog"), std::string::npos);
+}
+
+TEST(WatchdogTest, StaysQuietUnderProgressAndIdleness) {
+  // Progress (commits move) and idleness (nothing moves) are both healthy;
+  // a strike needs abort traffic WITH zero commits.
+  std::atomic<std::uint64_t> ticks{0};
+  LivelockWatchdog::Options opt;
+  opt.period = std::chrono::milliseconds(2);
+  opt.strikes = 2;
+  LivelockWatchdog dog(
+      [&] {
+        const std::uint64_t n = ticks.fetch_add(1, std::memory_order_relaxed);
+        WatchdogSample s;
+        // First half: commits and aborts both advance. Second half: idle.
+        s.commits = n < 10 ? n : 10;
+        s.aborts = n < 10 ? n * 5 : 50;
+        return s;
+      },
+      [&](const WatchdogDiagnostic&) {}, opt);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  dog.stop();
+  EXPECT_EQ(dog.alarms_raised(), 0u);
 }
 
 TEST(StopTokenTest, ThrowsWhenStopped) {

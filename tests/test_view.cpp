@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -159,6 +160,106 @@ TEST(ViewExceptions, MisuseLeavesAdmissionExactlyOnce) {
   EXPECT_EQ(view.admission().admitted(), 0u);
 }
 
+// ---------------- staged-API misuse ----------------------------------------
+
+TEST(ViewMisuse, NestedAcquireOfSameViewIsDefinedError) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 2);
+  vc.rac = RacMode::kFixed;
+  vc.fixed_quota = 2;
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 1); });
+
+  // Re-entering the view with a transaction already open used to silently
+  // overwrite the checkpoint and rollback hooks (UB on the retry path); it
+  // must now throw before touching any state.
+  try {
+    view.execute([&] {
+      vwrite<stm::Word>(cell, 2);
+      view.enter(thread_ctx(), /*read_only=*/false);
+      FAIL() << "nested acquire_view did not throw";
+    });
+    FAIL() << "logic_error did not propagate";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("nested acquire"),
+              std::string::npos)
+        << e.what();
+  }
+  // The guard fired before mutating anything; the exception path unwound
+  // the open transaction exactly once and the view stays usable.
+  EXPECT_EQ(view.admission().admitted(), 0u);
+  EXPECT_EQ(vread(cell), 1u);
+  view.execute([&] { vwrite<stm::Word>(cell, 3); });
+  EXPECT_EQ(vread(cell), 3u);
+}
+
+TEST(ViewMisuse, AcquireWhileOnAnotherViewIsDefinedError) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 2);
+  vc.rac = RacMode::kFixed;
+  vc.fixed_quota = 2;
+  View a(vc), b(vc);
+  auto* ca = static_cast<stm::Word*>(a.alloc(sizeof(stm::Word)));
+  a.execute([&] { vwrite<stm::Word>(ca, 1); });
+
+  try {
+    a.execute([&] {
+      vwrite<stm::Word>(ca, 2);
+      b.enter(thread_ctx(), /*read_only=*/false);
+      FAIL() << "cross-view acquire_view did not throw";
+    });
+    FAIL() << "logic_error did not propagate";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("another view"), std::string::npos)
+        << e.what();
+  }
+  // View B never admitted (the guard fired first); view A's own exception
+  // handler rolled its transaction back and left its admission.
+  EXPECT_EQ(a.admission().admitted(), 0u);
+  EXPECT_EQ(b.admission().admitted(), 0u);
+  EXPECT_EQ(b.stats().commits + b.stats().aborts, 0u);
+  EXPECT_EQ(vread(ca), 1u);
+  a.execute([&] { vwrite<stm::Word>(ca, 4); });
+  b.execute([&] { (void)0; });
+}
+
+TEST(ViewMisuse, ReleaseWithoutAcquireIsDefinedError) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 2);
+  View view(vc);
+  try {
+    view.exit(thread_ctx());
+    FAIL() << "release_view without acquire did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("without a matching acquire_view"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(view.admission().admitted(), 0u);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 1); });
+  EXPECT_EQ(vread(cell), 1u);
+}
+
+TEST(ViewMisuse, ReleaseOnWrongViewIsDefinedError) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 2);
+  View a(vc), b(vc);
+  auto* ca = static_cast<stm::Word*>(a.alloc(sizeof(stm::Word)));
+  try {
+    a.execute([&] {
+      vwrite<stm::Word>(ca, 1);
+      b.exit(thread_ctx());
+      FAIL() << "cross-view release_view did not throw";
+    });
+    FAIL() << "logic_error did not propagate";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different view"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(a.admission().admitted(), 0u);
+  EXPECT_EQ(b.admission().admitted(), 0u);
+  a.execute([&] { vwrite<stm::Word>(ca, 2); });
+  EXPECT_EQ(vread(ca), 2u);
+}
+
 // ---------------- RAC-specific behaviour ----------------------------------
 
 TEST(ViewRac, FixedQuotaOneRunsInLockMode) {
@@ -254,6 +355,71 @@ TEST(ViewRac, ManualQuotaOverride) {
   EXPECT_EQ(view.quota(), 3u);
   view.set_quota(0);  // clamped
   EXPECT_EQ(view.quota(), 1u);
+}
+
+// ---------------- escalation ladder (real threads) -------------------------
+
+TEST(ViewEscalation, SerialRungBoundsStreaksUnderHotContention) {
+  // The paper's livelock shape (one hot word, encounter-time locking, a
+  // reschedule inside the transaction, no backoff) with the ladder armed:
+  // the counter stays exact, and no transaction's consecutive-abort streak
+  // can exceed serial_after — past it the serial rung commits irrevocably.
+  ViewConfig vc = basic_config(stm::Algo::kOrecEagerRedo, 8);
+  vc.rac = RacMode::kFixed;
+  vc.fixed_quota = 8;
+  vc.backoff = BackoffPolicy::kNone;
+  vc.escalation.enabled = true;
+  vc.escalation.aging_after = 4;
+  vc.escalation.serial_after = 16;
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] { vwrite<stm::Word>(cell, 0); });
+
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 300;
+  StartBarrier barrier(kThreads);
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kPerThread; ++i) {
+        view.execute([&] {
+          vadd<stm::Word>(cell, 1);
+          std::this_thread::yield();
+        });
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(vread(cell), kThreads * static_cast<stm::Word>(kPerThread));
+  EXPECT_LE(view.consecutive_abort_hwm(), vc.escalation.serial_after);
+  EXPECT_EQ(view.admission().admitted(), 0u);
+  EXPECT_EQ(view.admission().serial_holder(), -1);
+  // health() mirrors the run's books.
+  const WatchdogSample h = view.health();
+  EXPECT_EQ(h.commits, view.stats().commits);
+  EXPECT_EQ(h.aborts, view.stats().aborts);
+  EXPECT_EQ(h.quota, 8u);
+  EXPECT_EQ(h.admitted, 0u);
+  EXPECT_EQ(h.serial_holder, -1);
+}
+
+TEST(ViewEscalation, WatchdogStaysQuietOnHealthyView) {
+  ViewConfig vc = basic_config(stm::Algo::kNOrec, 4);
+  View view(vc);
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  LivelockWatchdog::Options opt;
+  opt.period = std::chrono::milliseconds(5);
+  opt.strikes = 2;
+  LivelockWatchdog dog([&] { return view.health(); },
+                       [](const WatchdogDiagnostic&) {}, opt);
+  for (int i = 0; i < 2000; ++i) {
+    view.execute([&] { vadd<stm::Word>(cell, 1); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  dog.stop();
+  EXPECT_EQ(dog.alarms_raised(), 0u);
+  EXPECT_EQ(vread(cell), 2000u);
 }
 
 // ---------------- transactional memory management -------------------------
