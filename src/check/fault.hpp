@@ -48,6 +48,10 @@ enum class FaultSite : unsigned {
   kOrecEagerRedoCommitTail,   // commit fails before the clock ticket
   kOrecLazyCommitTail,        // commit fails before commit-time locking
   kOrecEagerUndoCommitTail,   // commit fails before the clock ticket
+  // --- version clock (availability: a lost GV4 ticket CAS) -----------------
+  kGv4ClockCasLost,           // GV4 CAS loses to a phantom winner; the
+                              // committer must adopt the phantom's tick and
+                              // revalidate (clock monotonicity must survive)
   // --- admission controller ------------------------------------------------
   kAdmitCasFail,              // admission CAS spuriously loses its race
   kAdmLostNotify,             // leave_wake drops its condvar notify
@@ -66,6 +70,7 @@ inline const char* to_string(FaultSite s) noexcept {
     case FaultSite::kOrecEagerRedoCommitTail: return "oer.commit-tail";
     case FaultSite::kOrecLazyCommitTail: return "ol.commit-tail";
     case FaultSite::kOrecEagerUndoCommitTail: return "oeu.commit-tail";
+    case FaultSite::kGv4ClockCasLost: return "clock.gv4-cas-lost";
     case FaultSite::kAdmitCasFail: return "adm.cas-fail";
     case FaultSite::kAdmLostNotify: return "adm.lost-notify";
     case FaultSite::kSerialTokenDrop: return "adm.serial-token-drop";

@@ -97,12 +97,17 @@ std::string StmRandomScenario::name() const {
      << "v" << cfg_.vars << "x" << cfg_.txs_per_thread << "o"
      << cfg_.ops_per_tx << "w" << cfg_.write_pct;
   if (cfg_.reread_pct != 0) os << "d" << cfg_.reread_pct;
+  if (cfg_.clock_policy != stm::ClockPolicy::kGv1) {
+    os << "/" << stm::to_string(cfg_.clock_policy);
+  }
   os << "s" << cfg_.workload_seed;
   return os.str();
 }
 
 Scenario::Outcome StmRandomScenario::run_once(const SchedOptions& opts) {
-  auto engine = stm::make_engine(cfg_.algo);
+  stm::EngineConfig engine_cfg;
+  engine_cfg.clock_policy = cfg_.clock_policy;
+  auto engine = stm::make_engine(cfg_.algo, engine_cfg);
   std::vector<stm::Word> mem(cfg_.vars, 0);
   const std::vector<stm::Word> initial = mem;
   HistoryRecorder rec(cfg_.threads);
@@ -180,12 +185,17 @@ std::string StmSnapshotScenario::name() const {
   os << "stm-snapshot/" << stm::to_string(cfg_.algo) << "/w" << cfg_.writers
      << "v" << cfg_.vars << "r" << cfg_.reads_per_reader << "x"
      << cfg_.txs_per_writer;
+  if (cfg_.clock_policy != stm::ClockPolicy::kGv1) {
+    os << "/" << stm::to_string(cfg_.clock_policy);
+  }
   return os.str();
 }
 
 Scenario::Outcome StmSnapshotScenario::run_once(const SchedOptions& opts) {
   const unsigned n = cfg_.writers + 1;
-  auto engine = stm::make_engine(cfg_.algo);
+  stm::EngineConfig engine_cfg;
+  engine_cfg.clock_policy = cfg_.clock_policy;
+  auto engine = stm::make_engine(cfg_.algo, engine_cfg);
   std::vector<stm::Word> mem(cfg_.vars, 0);
   const std::vector<stm::Word> initial = mem;
   HistoryRecorder rec(n);

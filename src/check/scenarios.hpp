@@ -50,6 +50,10 @@ struct StmRandomConfig {
   // paths — the orec read-log dedup and the value-log adjacent-read
   // collapse — under schedule exploration. 0 keeps the legacy op stream.
   unsigned reread_pct = 0;
+  // Version-clock policy for the orec engines (stm/clock.hpp); ignored by
+  // NOrec/TML/CGL. Named in the scenario string when not GV1, so repro
+  // lines stay complete.
+  stm::ClockPolicy clock_policy = stm::ClockPolicy::kGv1;
   std::uint64_t workload_seed = 42;
   unsigned max_attempts = 256;  // per transaction; livelock guard
 };
@@ -75,6 +79,7 @@ struct StmSnapshotConfig {
   unsigned vars = 2;
   unsigned reads_per_reader = 2;   // read-only transactions by thread 0
   unsigned txs_per_writer = 2;
+  stm::ClockPolicy clock_policy = stm::ClockPolicy::kGv1;
   unsigned max_attempts = 256;
 };
 

@@ -10,6 +10,7 @@
 
 #include <thread>
 
+#include "containers/read_tx.hpp"
 #include "core/access.hpp"
 #include "core/view.hpp"
 #include "util/cacheline.hpp"
@@ -36,13 +37,16 @@ class TxCounter {
     core::vadd<stm::Word>(&slots_[shard_index() * stride_], delta);
   }
 
-  // tx: consistent total across shards.
+  // tx or standalone: consistent total across shards (standalone calls run
+  // as their own read-only transaction).
   stm::Word value() const {
-    stm::Word sum = 0;
-    for (std::size_t i = 0; i < shard_count_; ++i) {
-      sum += core::vread(&slots_[i * stride_]);
-    }
-    return sum;
+    return read_transactionally(*view_, [&] {
+      stm::Word sum = 0;
+      for (std::size_t i = 0; i < shard_count_; ++i) {
+        sum += core::vread(&slots_[i * stride_]);
+      }
+      return sum;
+    });
   }
 
   std::size_t shards() const noexcept { return shard_count_; }

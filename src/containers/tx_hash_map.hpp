@@ -6,12 +6,16 @@
 // abort undoes the allocation; erase defers the free to commit (the view
 // layer's transactional memory management).
 //
-// All mutating/reading methods must run inside a transaction on the owning
-// view unless the map is externally quiesced.
+// Mutating methods must run inside a transaction on the owning view; the
+// read operations (get/contains/for_each/size) may also be called outside
+// one, in which case they run as their own read-only transaction
+// (containers/read_tx.hpp) — a consistent snapshot that hits the engines'
+// RO commit fast path.
 #pragma once
 
 #include <cstddef>
 
+#include "containers/read_tx.hpp"
 #include "core/access.hpp"
 #include "core/view.hpp"
 
@@ -49,18 +53,21 @@ class TxHashMap {
     return true;
   }
 
-  // tx: looks up key; returns true and writes *value_out when present.
+  // tx or standalone: looks up key; returns true and writes *value_out
+  // when present.
   bool get(Word key, Word* value_out) const {
-    Word node = core::vread(bucket_for(key));
-    while (node != 0) {
-      Word* words = as_node(node);
-      if (core::vread(&words[0]) == key) {
-        if (value_out != nullptr) *value_out = core::vread(&words[1]);
-        return true;
+    return read_transactionally(*view_, [&] {
+      Word node = core::vread(bucket_for(key));
+      while (node != 0) {
+        Word* words = as_node(node);
+        if (core::vread(&words[0]) == key) {
+          if (value_out != nullptr) *value_out = core::vread(&words[1]);
+          return true;
+        }
+        node = core::vread(&words[2]);
       }
-      node = core::vread(&words[2]);
-    }
-    return false;
+      return false;
+    });
   }
 
   bool contains(Word key) const { return get(key, nullptr); }
@@ -82,21 +89,24 @@ class TxHashMap {
     return false;
   }
 
-  // tx: applies fn(key, value) to every entry (consistent snapshot when run
-  // inside one transaction).
+  // tx or standalone: applies fn(key, value) to every entry — a consistent
+  // snapshot either way (standalone calls run as one read-only
+  // transaction). fn may re-run from the start on conflict.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t b = 0; b < bucket_count_; ++b) {
-      Word node = core::vread(&buckets_[b]);
-      while (node != 0) {
-        Word* words = as_node(node);
-        fn(core::vread(&words[0]), core::vread(&words[1]));
-        node = core::vread(&words[2]);
+    read_transactionally(*view_, [&] {
+      for (std::size_t b = 0; b < bucket_count_; ++b) {
+        Word node = core::vread(&buckets_[b]);
+        while (node != 0) {
+          Word* words = as_node(node);
+          fn(core::vread(&words[0]), core::vread(&words[1]));
+          node = core::vread(&words[2]);
+        }
       }
-    }
+    });
   }
 
-  // tx: entry count (O(n)).
+  // tx or standalone: entry count (O(n)).
   std::size_t size() const {
     std::size_t n = 0;
     for_each([&n](Word, Word) { ++n; });

@@ -5,6 +5,7 @@
 // Node layout (words): [0] value, [1] next.
 #pragma once
 
+#include "containers/read_tx.hpp"
 #include "core/access.hpp"
 #include "core/view.hpp"
 
@@ -34,16 +35,18 @@ class TxSortedList {
     core::vwrite<Word>(link, reinterpret_cast<Word>(node));
   }
 
-  // tx: true if value is present.
+  // tx or standalone: true if value is present.
   bool contains(Word value) const {
-    Word node = core::vread(head_);
-    while (node != 0) {
-      const Word v = core::vread(&as_node(node)[0]);
-      if (v == value) return true;
-      if (v > value) return false;  // sorted: passed the spot
-      node = core::vread(&as_node(node)[1]);
-    }
-    return false;
+    return read_transactionally(*view_, [&] {
+      Word node = core::vread(head_);
+      while (node != 0) {
+        const Word v = core::vread(&as_node(node)[0]);
+        if (v == value) return true;
+        if (v > value) return false;  // sorted: passed the spot
+        node = core::vread(&as_node(node)[1]);
+      }
+      return false;
+    });
   }
 
   // tx: removes one instance of value; false if absent.
@@ -65,30 +68,34 @@ class TxSortedList {
     return false;
   }
 
-  // tx: O(n) size.
+  // tx or standalone: O(n) size.
   std::size_t size() const {
-    std::size_t n = 0;
-    Word node = core::vread(head_);
-    while (node != 0) {
-      ++n;
-      node = core::vread(&as_node(node)[1]);
-    }
-    return n;
+    return read_transactionally(*view_, [&] {
+      std::size_t n = 0;
+      Word node = core::vread(head_);
+      while (node != 0) {
+        ++n;
+        node = core::vread(&as_node(node)[1]);
+      }
+      return n;
+    });
   }
 
-  // tx: true iff values ascend (validation helper for tests).
+  // tx or standalone: true iff values ascend (validation helper for tests).
   bool is_sorted() const {
-    Word node = core::vread(head_);
-    Word prev = 0;
-    bool first = true;
-    while (node != 0) {
-      const Word v = core::vread(&as_node(node)[0]);
-      if (!first && v < prev) return false;
-      prev = v;
-      first = false;
-      node = core::vread(&as_node(node)[1]);
-    }
-    return true;
+    return read_transactionally(*view_, [&] {
+      Word node = core::vread(head_);
+      Word prev = 0;
+      bool first = true;
+      while (node != 0) {
+        const Word v = core::vread(&as_node(node)[0]);
+        if (!first && v < prev) return false;
+        prev = v;
+        first = false;
+        node = core::vread(&as_node(node)[1]);
+      }
+      return true;
+    });
   }
 
  private:

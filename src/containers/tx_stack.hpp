@@ -7,6 +7,7 @@
 // Node layout (words): [0] value, [1] next.
 #pragma once
 
+#include "containers/read_tx.hpp"
 #include "core/access.hpp"
 #include "core/view.hpp"
 
@@ -40,18 +41,23 @@ class TxStack {
     return true;
   }
 
-  // tx: true when no elements are present.
-  bool empty() const { return core::vread(head_) == 0; }
+  // tx or standalone: true when no elements are present.
+  bool empty() const {
+    return read_transactionally(*view_,
+                                [&] { return core::vread(head_) == 0; });
+  }
 
-  // tx: O(n) element count.
+  // tx or standalone: O(n) element count.
   std::size_t size() const {
-    std::size_t n = 0;
-    Word node = core::vread(head_);
-    while (node != 0) {
-      ++n;
-      node = core::vread(&reinterpret_cast<Word*>(node)[1]);
-    }
-    return n;
+    return read_transactionally(*view_, [&] {
+      std::size_t n = 0;
+      Word node = core::vread(head_);
+      while (node != 0) {
+        ++n;
+        node = core::vread(&reinterpret_cast<Word*>(node)[1]);
+      }
+      return n;
+    });
   }
 
  private:

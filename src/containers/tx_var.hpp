@@ -2,9 +2,11 @@
 //
 // The smallest useful container: owns one word-sized slot and exposes
 // typed get/set that route through the view's STM when called inside a
-// transaction (and plain atomic accesses outside one).
+// transaction; a get() outside one runs as its own read-only transaction
+// (see containers/read_tx.hpp).
 #pragma once
 
+#include "containers/read_tx.hpp"
 #include "core/access.hpp"
 #include "core/view.hpp"
 
@@ -22,7 +24,9 @@ class TxVar {
     core::vwrite(slot_, initial);
   }
 
-  T get() const { return core::vread(slot_); }
+  T get() const {
+    return read_transactionally(*view_, [&] { return core::vread(slot_); });
+  }
   void set(T value) { core::vwrite(slot_, value); }
 
   // Read-modify-write helper (must run inside a transaction for atomicity

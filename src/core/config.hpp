@@ -78,6 +78,9 @@ struct ViewConfig {
   std::uint64_t adapt_interval = 2048;
   rac::PolicyConfig policy{};
 
+  // Engine construction knobs, clock policy included: `engine.clock_policy`
+  // selects GV1/GV4/GV5 for this view's orec-family engine (ignored by the
+  // seqlock/mutex engines). See stm/factory.hpp and DESIGN.md §15.
   stm::EngineConfig engine{};
   BackoffPolicy backoff = BackoffPolicy::kNone;  // paper default: no backoff
 

@@ -19,6 +19,8 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <type_traits>
 
 #include "core/arena.hpp"
 #include "core/config.hpp"
@@ -60,6 +62,24 @@ class View {
   template <typename Body>
   void execute_read(Body&& body) {
     run(static_cast<Body&&>(body), /*read_only=*/true);
+  }
+
+  // execute_read that returns the body's value. The read-only hint reaches
+  // the engines (tx.read_only), so the transaction takes the RO commit
+  // fast path: zero version-clock traffic and no write-set reset. The
+  // containers route their read operations (lookups, size, iteration)
+  // here when called outside a transaction. The body may run several
+  // times (conflict retry); its result is overwritten each attempt.
+  template <typename Body>
+  auto run_read(Body&& body) {
+    using Result = std::invoke_result_t<Body&>;
+    if constexpr (std::is_void_v<Result>) {
+      run(static_cast<Body&&>(body), /*read_only=*/true);
+    } else {
+      std::optional<Result> result;
+      run([&] { result.emplace(body()); }, /*read_only=*/true);
+      return std::move(*result);
+    }
   }
 
   // ---- staged protocol (C API / drivers) ----------------------------------

@@ -27,7 +27,7 @@ void TxThread::conflict(ConflictKind kind) {
   // wasted cycles, notify the admission layer, then transfer control.
   engine->rollback(*this);
   clear_logs();
-  last_tx_cycles = tx_elapsed_cycles(*this);
+  last_tx_cycles = collect_cycles ? tx_elapsed_cycles(*this) : 0;
   if (stats != nullptr) {
     stats->add_abort(last_tx_cycles);
   }

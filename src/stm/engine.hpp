@@ -67,6 +67,12 @@ struct TxThread {
   std::uint64_t start_time = 0;  // OrecEagerRedo begin timestamp
 
   // --- accounting ----------------------------------------------------------
+  // Per-transaction cycle telemetry (the delta(Q) estimator's and the
+  // latency histograms' input). The view layer depends on it and leaves it
+  // on; standalone harnesses measuring sub-100ns commits may turn it off —
+  // two rdtsc per transaction (~30ns on the reference host) otherwise
+  // dominate the path being measured.
+  bool collect_cycles = true;
   std::uint64_t tx_start_cycles = 0;
   // Cycles to subtract from this transaction's duration when it ends:
   // cooperative in-tx yields (harness-injected to force transaction overlap
@@ -152,7 +158,7 @@ class TxEngine {
 inline void begin_common(TxThread& tx, TxEngine* engine) noexcept {
   tx.engine = engine;
   tx.in_tx = true;
-  tx.tx_start_cycles = rdcycles();
+  tx.tx_start_cycles = tx.collect_cycles ? rdcycles() : 0;
   tx.excluded_cycles = 0;
 }
 
@@ -174,7 +180,7 @@ void atomically(TxEngine& engine, TxThread& tx, Body&& body) {
     try {
       body(tx);
       engine.commit(tx);
-      tx.last_tx_cycles = tx_elapsed_cycles(tx);
+      tx.last_tx_cycles = tx.collect_cycles ? tx_elapsed_cycles(tx) : 0;
       if (tx.stats != nullptr) {
         tx.stats->add_commit(tx.last_tx_cycles);
       }

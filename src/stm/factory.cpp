@@ -17,11 +17,14 @@ std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
     case Algo::kNOrec:
       return std::make_unique<NOrecEngine>(config.norec_commit_filters);
     case Algo::kOrecEagerRedo:
-      return std::make_unique<OrecEagerRedoEngine>(config.orec_table_size);
+      return std::make_unique<OrecEagerRedoEngine>(config.orec_table_size,
+                                                   config.clock_policy);
     case Algo::kOrecLazy:
-      return std::make_unique<OrecLazyEngine>(config.orec_table_size);
+      return std::make_unique<OrecLazyEngine>(config.orec_table_size,
+                                              config.clock_policy);
     case Algo::kOrecEagerUndo:
-      return std::make_unique<OrecEagerUndoEngine>(config.orec_table_size);
+      return std::make_unique<OrecEagerUndoEngine>(config.orec_table_size,
+                                                   config.clock_policy);
     case Algo::kTml:
       return std::make_unique<TmlEngine>();
     case Algo::kCgl:

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "stm/clock.hpp"
 #include "stm/engine.hpp"
 
 namespace votm::stm {
@@ -27,6 +28,11 @@ struct EngineConfig {
   // engines' read-log dedup is a per-TxThread knob, not an engine one.
   // Default follows the VOTM_VALIDATION_FILTERS CMake option.
   bool norec_commit_filters = kValidationFiltersDefault;
+  // Version-clock timestamp-allocation policy for the orec engines
+  // (GV1/GV4/GV5, see stm/clock.hpp). NOrec/TML keep their sequence lock;
+  // the setting is ignored there. Per view, like everything else in
+  // EngineConfig (it rides in ViewConfig::engine).
+  ClockPolicy clock_policy = ClockPolicy::kGv1;
 };
 
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config = {});

@@ -141,6 +141,14 @@ void NOrecEngine::write(TxThread& tx, Word* addr, Word value) {
 void NOrecEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
   auto& seq = seqlock_.value;
+  if (tx.read_only) {
+    // Declared-RO fast path: skips even the write-set emptiness probe and
+    // its reset — write() misuses before touching wset on an RO
+    // transaction, so only the value log needs clearing. Zero clock
+    // (sequence-lock) traffic either way.
+    tx.vlog.clear();
+    return;
+  }
   if (tx.wset.empty()) {
     // Read-only: the incremental validation discipline guarantees the read
     // set was consistent at `snapshot`; nothing to publish.

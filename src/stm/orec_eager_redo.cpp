@@ -8,7 +8,7 @@ namespace votm::stm {
 
 void OrecEagerRedoEngine::begin(TxThread& tx) {
   VOTM_SCHED_POINT(kStmBegin);
-  tx.start_time = clock_.value.load(std::memory_order_acquire);
+  tx.start_time = clock_.read();
   begin_common(tx, this);
 }
 
@@ -25,12 +25,14 @@ bool OrecEagerRedoEngine::read_log_valid(TxThread& tx,
   return true;
 }
 
-void OrecEagerRedoEngine::extend(TxThread& tx) {
+void OrecEagerRedoEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
   // TinySTM-style timestamp extension: if nothing we read changed since
   // start_time, the snapshot can be moved forward to `now`; otherwise the
-  // transaction is doomed.
-  const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
+  // transaction is doomed. `now` covers `observed`, so the caller's retry
+  // loop terminates even when the version that forced the extension runs
+  // ahead of the global clock (GV5).
+  const std::uint64_t now = clock_.extension_bound(observed);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
   }
@@ -58,7 +60,7 @@ Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
       tx.conflict(ConflictKind::kReadLocked);
     }
     if (Orec::version_of(before) > tx.start_time) {
-      extend(tx);
+      extend(tx, Orec::version_of(before));
       continue;
     }
     const Word value = load_word(addr);
@@ -88,7 +90,7 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
       tx.conflict(ConflictKind::kWriteLocked);
     }
     if (Orec::version_of(p) > tx.start_time) {
-      extend(tx);
+      extend(tx, Orec::version_of(p));
       continue;
     }
     if (o.try_lock(p, &tx)) {
@@ -102,9 +104,14 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
 
 void OrecEagerRedoEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
+  if (tx.read_only) {
+    // RO fast path: consistent as of start_time by the incremental
+    // validation/extension discipline; zero clock traffic, and no
+    // write-set reset — a read-only transaction never touched it.
+    tx.rlog.clear();
+    return;
+  }
   if (tx.wlocks.empty()) {
-    // Read-only transactions are consistent as of start_time by the
-    // incremental validation/extension discipline.
     tx.clear_logs();
     return;
   }
@@ -115,10 +122,9 @@ void OrecEagerRedoEngine::commit(TxThread& tx) {
   }
   VOTM_SCHED_POINT(kStmCommitLock);
   VOTM_SCHED_POINT(kStmCommitWriteback);
-  const std::uint64_t end_time =
-      clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const VersionClock::Ticket ticket = clock_.tick(tx.start_time);
   // If anyone committed after we began, the read set must still be valid.
-  if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
+  if (ticket.need_validation && !read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kCommitFail);
   }
   // No sched point from the ticket to return: the clock ticket is this
@@ -130,8 +136,9 @@ void OrecEagerRedoEngine::commit(TxThread& tx) {
     store_word(e.addr, e.value);
   }
   for (const OwnedOrec& w : tx.wlocks) {
-    w.orec->unlock_to_version(end_time);
+    w.orec->unlock_to_version(ticket.end_time);
   }
+  clock_.note_commit(ticket.end_time);
   tx.clear_logs();
 }
 

@@ -9,18 +9,18 @@
 // contention (Tables III and V, Q >= 16).
 #pragma once
 
-#include <atomic>
-
+#include "stm/clock.hpp"
 #include "stm/engine.hpp"
 #include "stm/orec_table.hpp"
-#include "util/cacheline.hpp"
 
 namespace votm::stm {
 
 class OrecEagerRedoEngine final : public TxEngine {
  public:
-  explicit OrecEagerRedoEngine(std::size_t orec_table_size = OrecTable::kDefaultSize)
-      : orecs_(orec_table_size) {}
+  explicit OrecEagerRedoEngine(
+      std::size_t orec_table_size = OrecTable::kDefaultSize,
+      ClockPolicy clock_policy = ClockPolicy::kGv1)
+      : clock_(clock_policy), orecs_(orec_table_size) {}
 
   const char* name() const noexcept override { return "OrecEagerRedo"; }
 
@@ -30,9 +30,9 @@ class OrecEagerRedoEngine final : public TxEngine {
   void commit(TxThread& tx) override;
   void rollback(TxThread& tx) override;
 
-  std::uint64_t clock() const noexcept {
-    return clock_.value.load(std::memory_order_relaxed);
-  }
+  // Memory-order contract lives at VersionClock::read().
+  std::uint64_t clock() const noexcept { return clock_.read(); }
+  const VersionClock& version_clock() const noexcept { return clock_; }
   OrecTable& orec_table() noexcept { return orecs_; }
 
  private:
@@ -41,10 +41,12 @@ class OrecEagerRedoEngine final : public TxEngine {
   bool read_log_valid(TxThread& tx, std::uint64_t bound) const noexcept;
 
   // Timestamp extension (TinySTM-style): re-validate and move start_time
-  // forward; aborts via tx.conflict() when validation fails.
-  void extend(TxThread& tx);
+  // forward; aborts via tx.conflict() when validation fails. `observed` is
+  // the orec version that forced the extension (may exceed the global
+  // clock under GV5; see VersionClock::extension_bound).
+  void extend(TxThread& tx, std::uint64_t observed);
 
-  CacheLinePadded<std::atomic<std::uint64_t>> clock_{};
+  VersionClock clock_;
   OrecTable orecs_;
 };
 

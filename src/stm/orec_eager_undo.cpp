@@ -12,7 +12,7 @@ namespace votm::stm {
 
 void OrecEagerUndoEngine::begin(TxThread& tx) {
   VOTM_SCHED_POINT(kStmBegin);
-  tx.start_time = clock_.value.load(std::memory_order_acquire);
+  tx.start_time = clock_.read();
   begin_common(tx, this);
 }
 
@@ -29,9 +29,9 @@ bool OrecEagerUndoEngine::read_log_valid(TxThread& tx,
   return true;
 }
 
-void OrecEagerUndoEngine::extend(TxThread& tx) {
+void OrecEagerUndoEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
-  const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
+  const std::uint64_t now = clock_.extension_bound(observed);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
   }
@@ -54,7 +54,7 @@ Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
       tx.conflict(ConflictKind::kReadLocked);
     }
     if (Orec::version_of(before) > tx.start_time) {
-      extend(tx);
+      extend(tx, Orec::version_of(before));
       continue;
     }
     const Word value = load_word(addr);
@@ -83,7 +83,7 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
       tx.conflict(ConflictKind::kWriteLocked);
     }
     if (Orec::version_of(p) > tx.start_time) {
-      extend(tx);
+      extend(tx, Orec::version_of(p));
       continue;
     }
     if (o.try_lock(p, &tx)) {
@@ -101,6 +101,11 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
 
 void OrecEagerUndoEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
+  if (tx.read_only) {
+    // RO fast path: zero clock traffic, no write-set reset (never touched).
+    tx.rlog.clear();
+    return;
+  }
   if (tx.wlocks.empty()) {
     tx.clear_logs();
     return;
@@ -111,17 +116,17 @@ void OrecEagerUndoEngine::commit(TxThread& tx) {
     tx.conflict(ConflictKind::kCommitFail);
   }
   VOTM_SCHED_POINT(kStmCommitLock);
-  const std::uint64_t end_time =
-      clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
+  const VersionClock::Ticket ticket = clock_.tick(tx.start_time);
+  if (ticket.need_validation && !read_log_valid(tx, tx.start_time)) {
     // conflict() -> rollback() undoes the in-place writes.
     tx.conflict(ConflictKind::kCommitFail);
   }
   // Memory already holds the final values; just publish the versions. No
   // sched point from here to return (oracle's serialization witness).
   for (const OwnedOrec& w : tx.wlocks) {
-    w.orec->unlock_to_version(end_time);
+    w.orec->unlock_to_version(ticket.end_time);
   }
+  clock_.note_commit(ticket.end_time);
   tx.clear_logs();
 }
 

@@ -15,18 +15,18 @@
 // timestamp extension, like the other orec engines.
 #pragma once
 
-#include <atomic>
-
+#include "stm/clock.hpp"
 #include "stm/engine.hpp"
 #include "stm/orec_table.hpp"
-#include "util/cacheline.hpp"
 
 namespace votm::stm {
 
 class OrecEagerUndoEngine final : public TxEngine {
  public:
-  explicit OrecEagerUndoEngine(std::size_t orec_table_size = OrecTable::kDefaultSize)
-      : orecs_(orec_table_size) {}
+  explicit OrecEagerUndoEngine(
+      std::size_t orec_table_size = OrecTable::kDefaultSize,
+      ClockPolicy clock_policy = ClockPolicy::kGv1)
+      : clock_(clock_policy), orecs_(orec_table_size) {}
 
   const char* name() const noexcept override { return "OrecEagerUndo"; }
 
@@ -36,15 +36,15 @@ class OrecEagerUndoEngine final : public TxEngine {
   void commit(TxThread& tx) override;
   void rollback(TxThread& tx) override;
 
-  std::uint64_t clock() const noexcept {
-    return clock_.value.load(std::memory_order_relaxed);
-  }
+  // Memory-order contract lives at VersionClock::read().
+  std::uint64_t clock() const noexcept { return clock_.read(); }
+  const VersionClock& version_clock() const noexcept { return clock_; }
 
  private:
   bool read_log_valid(TxThread& tx, std::uint64_t bound) const noexcept;
-  void extend(TxThread& tx);
+  void extend(TxThread& tx, std::uint64_t observed);
 
-  CacheLinePadded<std::atomic<std::uint64_t>> clock_{};
+  VersionClock clock_;
   OrecTable orecs_;
 };
 

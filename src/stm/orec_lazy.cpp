@@ -10,7 +10,7 @@ namespace votm::stm {
 
 void OrecLazyEngine::begin(TxThread& tx) {
   VOTM_SCHED_POINT(kStmBegin);
-  tx.start_time = clock_.value.load(std::memory_order_acquire);
+  tx.start_time = clock_.read();
   begin_common(tx, this);
 }
 
@@ -27,9 +27,9 @@ bool OrecLazyEngine::read_log_valid(TxThread& tx,
   return true;
 }
 
-void OrecLazyEngine::extend(TxThread& tx) {
+void OrecLazyEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
-  const std::uint64_t now = clock_.value.load(std::memory_order_acquire);
+  const std::uint64_t now = clock_.extension_bound(observed);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
   }
@@ -61,7 +61,7 @@ Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
       continue;
     }
     if (Orec::version_of(before) > tx.start_time) {
-      extend(tx);
+      extend(tx, Orec::version_of(before));
       continue;
     }
     const Word value = load_word(addr);
@@ -87,6 +87,11 @@ void OrecLazyEngine::write(TxThread& tx, Word* addr, Word value) {
 
 void OrecLazyEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
+  if (tx.read_only) {
+    // RO fast path: zero clock traffic, no write-set reset (never touched).
+    tx.rlog.clear();
+    return;
+  }
   if (tx.wset.empty()) {
     tx.clear_logs();
     return;
@@ -110,7 +115,7 @@ void OrecLazyEngine::commit(TxThread& tx) {
       }
       if (Orec::version_of(p) > tx.start_time) {
         // A commit since we started; the read set may still be valid.
-        extend(tx);
+        extend(tx, Orec::version_of(p));
         continue;
       }
       if (o.try_lock(p, &tx)) {
@@ -120,9 +125,8 @@ void OrecLazyEngine::commit(TxThread& tx) {
     }
   }
   VOTM_SCHED_POINT(kStmCommitWriteback);
-  const std::uint64_t end_time =
-      clock_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (end_time != tx.start_time + 1 && !read_log_valid(tx, tx.start_time)) {
+  const VersionClock::Ticket ticket = clock_.tick(tx.start_time);
+  if (ticket.need_validation && !read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kCommitFail);
   }
   // No sched point from the ticket to return: the clock ticket is this
@@ -134,8 +138,9 @@ void OrecLazyEngine::commit(TxThread& tx) {
     store_word(e.addr, e.value);
   }
   for (const OwnedOrec& w : tx.wlocks) {
-    w.orec->unlock_to_version(end_time);
+    w.orec->unlock_to_version(ticket.end_time);
   }
+  clock_.note_commit(ticket.end_time);
   tx.clear_logs();
 }
 
