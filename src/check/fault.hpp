@@ -52,6 +52,10 @@ enum class FaultSite : unsigned {
   kGv4ClockCasLost,           // GV4 CAS loses to a phantom winner; the
                               // committer must adopt the phantom's tick and
                               // revalidate (clock monotonicity must survive)
+  // --- MVCC version rings (availability: evicted/lapped retained entry) ----
+  kMvccRingLap,               // ring lookup/reconstruct misses as if lapped;
+                              // the reader must fall back (extend or
+                              // conflict) and the system stays correct
   // --- admission controller ------------------------------------------------
   kAdmitCasFail,              // admission CAS spuriously loses its race
   kAdmLostNotify,             // leave_wake drops its condvar notify
@@ -71,6 +75,7 @@ inline const char* to_string(FaultSite s) noexcept {
     case FaultSite::kOrecLazyCommitTail: return "ol.commit-tail";
     case FaultSite::kOrecEagerUndoCommitTail: return "oeu.commit-tail";
     case FaultSite::kGv4ClockCasLost: return "clock.gv4-cas-lost";
+    case FaultSite::kMvccRingLap: return "mvcc.ring-lap";
     case FaultSite::kAdmitCasFail: return "adm.cas-fail";
     case FaultSite::kAdmLostNotify: return "adm.lost-notify";
     case FaultSite::kSerialTokenDrop: return "adm.serial-token-drop";

@@ -100,6 +100,7 @@ std::string StmRandomScenario::name() const {
   if (cfg_.clock_policy != stm::ClockPolicy::kGv1) {
     os << "/" << stm::to_string(cfg_.clock_policy);
   }
+  if (cfg_.mvcc) os << "+mvcc";
   os << "s" << cfg_.workload_seed;
   return os.str();
 }
@@ -107,6 +108,7 @@ std::string StmRandomScenario::name() const {
 Scenario::Outcome StmRandomScenario::run_once(const SchedOptions& opts) {
   stm::EngineConfig engine_cfg;
   engine_cfg.clock_policy = cfg_.clock_policy;
+  engine_cfg.mvcc = cfg_.mvcc;
   auto engine = stm::make_engine(cfg_.algo, engine_cfg);
   std::vector<stm::Word> mem(cfg_.vars, 0);
   const std::vector<stm::Word> initial = mem;
@@ -188,6 +190,7 @@ std::string StmSnapshotScenario::name() const {
   if (cfg_.clock_policy != stm::ClockPolicy::kGv1) {
     os << "/" << stm::to_string(cfg_.clock_policy);
   }
+  if (cfg_.mvcc) os << "+mvcc";
   return os.str();
 }
 
@@ -195,6 +198,7 @@ Scenario::Outcome StmSnapshotScenario::run_once(const SchedOptions& opts) {
   const unsigned n = cfg_.writers + 1;
   stm::EngineConfig engine_cfg;
   engine_cfg.clock_policy = cfg_.clock_policy;
+  engine_cfg.mvcc = cfg_.mvcc;
   auto engine = stm::make_engine(cfg_.algo, engine_cfg);
   std::vector<stm::Word> mem(cfg_.vars, 0);
   const std::vector<stm::Word> initial = mem;

@@ -54,6 +54,11 @@ struct StmRandomConfig {
   // NOrec/TML/CGL. Named in the scenario string when not GV1, so repro
   // lines stay complete.
   stm::ClockPolicy clock_policy = stm::ClockPolicy::kGv1;
+  // MVCC-lite versioned read path (stm/mvcc.hpp). Engines are constructed
+  // through the factory here, so the scenario must pin the knob explicitly
+  // to keep the explored state machine independent of the VOTM_MVCC build
+  // default. Named in the scenario string when on.
+  bool mvcc = false;
   std::uint64_t workload_seed = 42;
   unsigned max_attempts = 256;  // per transaction; livelock guard
 };
@@ -80,6 +85,7 @@ struct StmSnapshotConfig {
   unsigned reads_per_reader = 2;   // read-only transactions by thread 0
   unsigned txs_per_writer = 2;
   stm::ClockPolicy clock_policy = stm::ClockPolicy::kGv1;
+  bool mvcc = false;  // see StmRandomConfig::mvcc
   unsigned max_attempts = 256;
 };
 

@@ -61,6 +61,7 @@ enum class SchedPointId : std::uint8_t {
   kStmCommitLock,       // before commit-time lock/clock acquisition
   kStmCommitWriteback,  // between acquisition and (each) write-back store
   kStmClockTick,        // in VersionClock::tick, before the ticket RMW/CAS
+  kStmMvccRead,         // before an MVCC ring lookup / snapshot reconstruct
   kStmRollback,         // rollback entry, before undo/unlock
   kStmWaitSeq,          // spinning on an odd sequence lock (yield)
   kStmWaitOrec,         // spinning on a foreign orec lock (yield)
@@ -99,6 +100,7 @@ inline const char* to_string(SchedPointId id) noexcept {
     case SchedPointId::kStmCommitLock: return "stm.commit-lock";
     case SchedPointId::kStmCommitWriteback: return "stm.commit-writeback";
     case SchedPointId::kStmClockTick: return "stm.clock-tick";
+    case SchedPointId::kStmMvccRead: return "stm.mvcc-read";
     case SchedPointId::kStmRollback: return "stm.rollback";
     case SchedPointId::kStmWaitSeq: return "stm.wait-seq";
     case SchedPointId::kStmWaitOrec: return "stm.wait-orec";

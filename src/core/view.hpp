@@ -66,8 +66,11 @@ class View {
 
   // execute_read that returns the body's value. The read-only hint reaches
   // the engines (tx.read_only), so the transaction takes the RO commit
-  // fast path: zero version-clock traffic and no write-set reset. The
-  // containers route their read operations (lookups, size, iteration)
+  // fast path — zero version-clock traffic and no write-set reset — and,
+  // when the view's engine has MVCC-lite on (ViewConfig::engine.mvcc, the
+  // default under VOTM_MVCC), a slipped writer commit is served from the
+  // retained version rings instead of aborting the walk (DESIGN.md §16).
+  // The containers route their read operations (lookups, size, iteration)
   // here when called outside a transaction. The body may run several
   // times (conflict retry); its result is overwritten each attempt.
   template <typename Body>

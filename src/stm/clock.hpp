@@ -194,6 +194,27 @@ class VersionClock {
     }
   }
 
+  // Begin-snapshot bound for MVCC-lite read-only transactions: a snapshot
+  // s such that every commit COMPLETED (returned from commit()) before
+  // this call has end_time <= s. A versioned read below that line would
+  // time-travel behind a transaction the caller already happened-after —
+  // a real-time-order (opacity) violation the check oracle catches.
+  // GV1/GV4 derive every end_time from the global clock word itself, so
+  // read() already dominates all completed commits. GV5 commits run ahead
+  // of the clock; the per-thread note_commit() slots are the only record,
+  // so take their max and legalize it as a snapshot via the
+  // extension_bound() propagation CAS (publishing committed timestamps is
+  // always allowed, and the CAS provides the happens-after edge the clock
+  // invariant needs — a raw slot max would not).
+  std::uint64_t completed_commit_bound() noexcept {
+    if (policy_ != ClockPolicy::kGv5) return read();
+    std::uint64_t latest = 0;
+    for (const auto& s : slots_) {
+      latest = std::max(latest, s.value.load(std::memory_order_acquire));
+    }
+    return extension_bound(latest);
+  }
+
   // --- quiescence introspection (the core/arena privatization hook) -----
 
   std::uint64_t last_commit(std::size_t slot) const noexcept {

@@ -89,6 +89,16 @@ struct TxThread {
   // view's serial token, runs alone, and must not abort (escalation ladder,
   // DESIGN.md §14). Engines branch to plain accesses on it.
   bool serial = false;
+  // MVCC-lite (DESIGN.md §16): a read-only transaction that consumed a
+  // retained ring value is PINNED to its start snapshot — timestamp
+  // extension would invalidate the versioned values it already returned,
+  // so every later slipped commit must also be served from the rings or
+  // the transaction conflicts. Only ever set when the engine's mvcc knob
+  // is on and tx.read_only holds.
+  bool snapshot_pinned = false;
+  // Reads served from a version ring in the current transaction
+  // (diagnostics; bench/micro_mvcc asserts the path is actually taken).
+  std::uint64_t mvcc_snapshot_reads = 0;
 
   // Rolls back the active transaction and transfers control to the retry
   // point. Never returns.
@@ -160,6 +170,12 @@ inline void begin_common(TxThread& tx, TxEngine* engine) noexcept {
   tx.in_tx = true;
   tx.tx_start_cycles = tx.collect_cycles ? rdcycles() : 0;
   tx.excluded_cycles = 0;
+  // Cleared unconditionally: NOrec's validation loop consults the flag even
+  // with mvcc off, so a value left behind by an earlier mvcc transaction on
+  // this thread must not leak in. The diagnostics counter, by contrast, is
+  // only meaningful for mvcc read-only transactions and is reset on that
+  // begin path alone — begin() stays a store lighter for everyone else.
+  tx.snapshot_pinned = false;
 }
 
 // Cycles this transaction has consumed so far, net of excluded time.

@@ -15,16 +15,20 @@ namespace votm::stm {
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
   switch (algo) {
     case Algo::kNOrec:
-      return std::make_unique<NOrecEngine>(config.norec_commit_filters);
+      return std::make_unique<NOrecEngine>(config.norec_commit_filters,
+                                           config.mvcc);
     case Algo::kOrecEagerRedo:
-      return std::make_unique<OrecEagerRedoEngine>(config.orec_table_size,
-                                                   config.clock_policy);
+      return std::make_unique<OrecEagerRedoEngine>(
+          config.orec_table_size, config.clock_policy, config.mvcc,
+          config.mvcc_ring_depth);
     case Algo::kOrecLazy:
       return std::make_unique<OrecLazyEngine>(config.orec_table_size,
-                                              config.clock_policy);
+                                              config.clock_policy, config.mvcc,
+                                              config.mvcc_ring_depth);
     case Algo::kOrecEagerUndo:
-      return std::make_unique<OrecEagerUndoEngine>(config.orec_table_size,
-                                                   config.clock_policy);
+      return std::make_unique<OrecEagerUndoEngine>(
+          config.orec_table_size, config.clock_policy, config.mvcc,
+          config.mvcc_ring_depth);
     case Algo::kTml:
       return std::make_unique<TmlEngine>();
     case Algo::kCgl:

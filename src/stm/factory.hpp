@@ -10,6 +10,7 @@
 
 #include "stm/clock.hpp"
 #include "stm/engine.hpp"
+#include "stm/mvcc.hpp"
 
 namespace votm::stm {
 
@@ -33,6 +34,16 @@ struct EngineConfig {
   // the setting is ignored there. Per view, like everything else in
   // EngineConfig (it rides in ViewConfig::engine).
   ClockPolicy clock_policy = ClockPolicy::kGv1;
+  // MVCC-lite versioned read path (stm/mvcc.hpp, DESIGN.md §16): read-only
+  // transactions fall back to retained ring values instead of aborting on a
+  // slipped commit. Accepted by every algorithm; inert for TML/CGL (no
+  // write logs to mine). Default follows the VOTM_MVCC CMake option; note
+  // that engines constructed DIRECTLY (not via make_engine) default to
+  // mvcc off, so pre-existing harnesses measure unchanged code.
+  bool mvcc = kMvccDefault;
+  // Retained (version, value) entries per orec stripe (orec engines only;
+  // NOrec's global commit-log ring has a fixed shape).
+  std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth;
 };
 
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config = {});

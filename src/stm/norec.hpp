@@ -22,12 +22,23 @@
 // runtime (`commit_filters` ctor arg) so bench/micro_validation can A/B
 // both modes in one binary; the compile-time default follows the
 // VOTM_VALIDATION_FILTERS CMake option.
+//
+// MVCC-lite (runtime `mvcc` ctor arg; stm/mvcc.hpp, DESIGN.md §16): a
+// committing writer additionally publishes a bounded (addr, old value) log
+// into a global CommitLogRing while it holds the sequence lock. A
+// read-only transaction whose value validation would fail PINS its
+// snapshot instead of aborting and serves every later read by rewinding
+// the current memory value through the logged commits — so long readers
+// survive slipped commits. Unreconstructable reads (ring lapped, oversized
+// commit, serial-mode bump) conflict exactly as before.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <memory>
 
 #include "stm/engine.hpp"
+#include "stm/mvcc.hpp"
 #include "stm/signature.hpp"
 #include "util/cacheline.hpp"
 
@@ -35,8 +46,11 @@ namespace votm::stm {
 
 class NOrecEngine final : public TxEngine {
  public:
-  explicit NOrecEngine(bool commit_filters = kValidationFiltersDefault)
-      : filters_(commit_filters) {}
+  explicit NOrecEngine(bool commit_filters = kValidationFiltersDefault,
+                       bool mvcc = false)
+      : filters_(commit_filters),
+        mvcc_(mvcc),
+        commit_log_(mvcc ? std::make_unique<CommitLogRing>() : nullptr) {}
 
   const char* name() const noexcept override { return "NOrec"; }
 
@@ -57,6 +71,7 @@ class NOrecEngine final : public TxEngine {
     return seqlock_.value.load(std::memory_order_relaxed);
   }
   bool commit_filters() const noexcept { return filters_; }
+  bool mvcc() const noexcept { return mvcc_; }
 
  private:
   // One broadcast slot: the even sequence value a commit published, plus
@@ -73,8 +88,16 @@ class NOrecEngine final : public TxEngine {
   static constexpr std::size_t kSigRingSlots = 64;  // power of two
 
   // Re-validates tx's read log until a consistent even snapshot is found;
-  // calls tx.conflict() if any logged value changed.
+  // calls tx.conflict() if any logged value changed — unless the
+  // transaction is read-only and mvcc is on, in which case a failed value
+  // scan PINS the snapshot (tx.snapshot_pinned) and returns it unchanged:
+  // the already-logged values stay the consistent state at tx.snapshot,
+  // and read() serves everything later via snapshot_read().
   std::uint64_t validate(TxThread& tx);
+
+  // Pinned-snapshot read: reconstructs the value of addr at tx.snapshot
+  // from the commit-log ring; conflicts if any needed slot is gone.
+  Word snapshot_read(TxThread& tx, const Word* addr);
 
   // True if every commit in (since, upto] (even sequence values) has a
   // readable ring slot whose write signature is disjoint from `reads`.
@@ -90,6 +113,8 @@ class NOrecEngine final : public TxEngine {
   // Even = unlocked; a committing writer holds it odd during write-back.
   CacheLinePadded<std::atomic<std::uint64_t>> seqlock_{};
   const bool filters_;
+  const bool mvcc_;
+  std::unique_ptr<CommitLogRing> commit_log_;  // allocated iff mvcc_
   std::array<SigSlot, kSigRingSlots> ring_{};
 };
 

@@ -8,7 +8,18 @@ namespace votm::stm {
 
 void OrecEagerRedoEngine::begin(TxThread& tx) {
   VOTM_SCHED_POINT(kStmBegin);
-  tx.start_time = clock_.read();
+  // MVCC-lite read-only begins need a snapshot that dominates every
+  // COMPLETED commit (GV5 commits can run ahead of the raw clock): a
+  // versioned read below that line would serialize the reader behind
+  // real time. See VersionClock::completed_commit_bound. (read_only is
+  // tested first: it short-circuits on a thread-hot field, keeping writer
+  // begins off the engine flag entirely.)
+  if (tx.read_only && mvcc_) {
+    tx.start_time = clock_.completed_commit_bound();
+    tx.mvcc_snapshot_reads = 0;
+  } else {
+    tx.start_time = clock_.read();
+  }
   begin_common(tx, this);
 }
 
@@ -39,6 +50,17 @@ void OrecEagerRedoEngine::extend(TxThread& tx, std::uint64_t observed) {
   tx.start_time = now;
 }
 
+bool OrecEagerRedoEngine::mvcc_read(TxThread& tx, std::size_t stripe,
+                                    const Word* addr, Word* out) noexcept {
+  if (!rings_->lookup(stripe, addr, tx.start_time, out)) return false;
+  // Consuming a retained value fixes the snapshot: a later extension would
+  // move start_time past this value's window. All further slipped commits
+  // must be served by the rings too, or the transaction conflicts.
+  tx.snapshot_pinned = true;
+  ++tx.mvcc_snapshot_reads;
+  return true;
+}
+
 Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
   VOTM_SCHED_POINT(kStmRead);
   // Serial mode runs alone in a drained view: plain access, no logging.
@@ -46,7 +68,8 @@ Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
   if (const Word* buffered = tx.wset.lookup(addr)) {
     return *buffered;
   }
-  Orec& o = orecs_.for_address(addr);
+  const std::size_t stripe = orecs_.index_for(addr);
+  Orec& o = orecs_.at(stripe);
   for (;;) {
     const Orec::Packed before = o.load();
     if (Orec::is_locked(before)) {
@@ -55,11 +78,26 @@ Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
         // redo log (orec aliasing): memory still holds the pre-tx value.
         return load_word(addr);
       }
+      // MVCC-lite: a read-only transaction may still find its snapshot's
+      // value in the stripe ring even while a writer holds the lock.
+      if (mvcc_ && tx.read_only) {
+        Word retained;
+        if (mvcc_read(tx, stripe, addr, &retained)) return retained;
+      }
       // Aggressive self-abort on foreign lock: the paper's configuration,
       // and the source of livelock at high contention.
       tx.conflict(ConflictKind::kReadLocked);
     }
     if (Orec::version_of(before) > tx.start_time) {
+      // MVCC-lite: the stripe moved past our snapshot — the classic
+      // long-reader death. Prefer the retained value at start_time; a
+      // miss falls back to extension (still legal while unpinned) or,
+      // once pinned, to the conflict the ring was meant to avoid.
+      if (mvcc_ && tx.read_only) {
+        Word retained;
+        if (mvcc_read(tx, stripe, addr, &retained)) return retained;
+        if (tx.snapshot_pinned) tx.conflict(ConflictKind::kValidationFail);
+      }
       extend(tx, Orec::version_of(before));
       continue;
     }
@@ -132,6 +170,16 @@ void OrecEagerRedoEngine::commit(TxThread& tx) {
   // order) is only sound if completion order equals ticket order. Writes
   // are covered by encounter-time locks, so nothing here is observable
   // anyway until the unlock sweep publishes the versions.
+  if (mvcc_) {
+    // Retire the pre-commit values into the stripe rings (before the
+    // write-back overwrites them), refreshing the recycling horizon from
+    // the quiescence slots every kHorizonRefreshPushes commits.
+    if ((mvcc_commits_.fetch_add(1, std::memory_order_relaxed) &
+         (OrecVersionRings::kHorizonRefreshPushes - 1)) == 0) {
+      rings_->set_horizon(clock_.quiescence_horizon());
+    }
+    mvcc_publish_redo(*rings_, orecs_, tx, ticket.end_time);
+  }
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     store_word(e.addr, e.value);
   }

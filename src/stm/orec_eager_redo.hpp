@@ -9,8 +9,11 @@
 // contention (Tables III and V, Q >= 16).
 #pragma once
 
+#include <memory>
+
 #include "stm/clock.hpp"
 #include "stm/engine.hpp"
+#include "stm/mvcc.hpp"
 #include "stm/orec_table.hpp"
 
 namespace votm::stm {
@@ -19,8 +22,14 @@ class OrecEagerRedoEngine final : public TxEngine {
  public:
   explicit OrecEagerRedoEngine(
       std::size_t orec_table_size = OrecTable::kDefaultSize,
-      ClockPolicy clock_policy = ClockPolicy::kGv1)
-      : clock_(clock_policy), orecs_(orec_table_size) {}
+      ClockPolicy clock_policy = ClockPolicy::kGv1, bool mvcc = false,
+      std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth)
+      : clock_(clock_policy),
+        orecs_(orec_table_size),
+        mvcc_(mvcc),
+        rings_(mvcc ? std::make_unique<OrecVersionRings>(orec_table_size,
+                                                         mvcc_ring_depth)
+                    : nullptr) {}
 
   const char* name() const noexcept override { return "OrecEagerRedo"; }
 
@@ -34,6 +43,8 @@ class OrecEagerRedoEngine final : public TxEngine {
   std::uint64_t clock() const noexcept { return clock_.read(); }
   const VersionClock& version_clock() const noexcept { return clock_; }
   OrecTable& orec_table() noexcept { return orecs_; }
+  bool mvcc() const noexcept { return mvcc_; }
+  OrecVersionRings* version_rings() noexcept { return rings_.get(); }
 
  private:
   // Validates the orec read log; returns false if any orec is foreign-locked
@@ -46,8 +57,18 @@ class OrecEagerRedoEngine final : public TxEngine {
   // clock under GV5; see VersionClock::extension_bound).
   void extend(TxThread& tx, std::uint64_t observed);
 
+  // MVCC-lite read fallback (stm/mvcc.hpp): serve a read-only transaction
+  // from the stripe ring at tx.start_time, pinning the snapshot on a hit.
+  // Returns true with *out set; false = no covering entry (caller falls
+  // back, or conflicts if already pinned).
+  bool mvcc_read(TxThread& tx, std::size_t stripe, const Word* addr,
+                 Word* out) noexcept;
+
   VersionClock clock_;
   OrecTable orecs_;
+  const bool mvcc_;
+  std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
+  std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
 };
 
 }  // namespace votm::stm

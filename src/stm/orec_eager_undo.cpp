@@ -12,7 +12,14 @@ namespace votm::stm {
 
 void OrecEagerUndoEngine::begin(TxThread& tx) {
   VOTM_SCHED_POINT(kStmBegin);
-  tx.start_time = clock_.read();
+  // Read-only + mvcc: snapshot must dominate every completed commit (see
+  // OrecEagerRedoEngine::begin / VersionClock::completed_commit_bound).
+  if (tx.read_only && mvcc_) {
+    tx.start_time = clock_.completed_commit_bound();
+    tx.mvcc_snapshot_reads = 0;
+  } else {
+    tx.start_time = clock_.read();
+  }
   begin_common(tx, this);
 }
 
@@ -38,11 +45,22 @@ void OrecEagerUndoEngine::extend(TxThread& tx, std::uint64_t observed) {
   tx.start_time = now;
 }
 
+bool OrecEagerUndoEngine::mvcc_read(TxThread& tx, std::size_t stripe,
+                                    const Word* addr, Word* out) noexcept {
+  if (!rings_->lookup(stripe, addr, tx.start_time, out)) return false;
+  // Consuming a retained value fixes the snapshot (no later extension);
+  // see OrecEagerRedoEngine::mvcc_read.
+  tx.snapshot_pinned = true;
+  ++tx.mvcc_snapshot_reads;
+  return true;
+}
+
 Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
   VOTM_SCHED_POINT(kStmRead);
   // Serial mode runs alone in a drained view: plain access, no logging.
   if (tx.serial) return load_word(addr);
-  Orec& o = orecs_.for_address(addr);
+  const std::size_t stripe = orecs_.index_for(addr);
+  Orec& o = orecs_.at(stripe);
   for (;;) {
     const Orec::Packed before = o.load();
     if (Orec::is_locked(before)) {
@@ -50,10 +68,23 @@ Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
         // Own lock: memory holds our speculative (write-through) value.
         return load_word(addr);
       }
+      // MVCC-lite: the ring retains committed pre-lock values — precisely
+      // what a reader needs while the in-place value is speculative.
+      if (mvcc_ && tx.read_only) {
+        Word retained;
+        if (mvcc_read(tx, stripe, addr, &retained)) return retained;
+      }
       // Foreign lock covers an in-place SPECULATIVE value: never read it.
       tx.conflict(ConflictKind::kReadLocked);
     }
     if (Orec::version_of(before) > tx.start_time) {
+      // MVCC-lite fallback before extension; conflict only once pinned
+      // (see OrecEagerRedoEngine::read).
+      if (mvcc_ && tx.read_only) {
+        Word retained;
+        if (mvcc_read(tx, stripe, addr, &retained)) return retained;
+        if (tx.snapshot_pinned) tx.conflict(ConflictKind::kValidationFail);
+      }
       extend(tx, Orec::version_of(before));
       continue;
     }
@@ -123,6 +154,16 @@ void OrecEagerUndoEngine::commit(TxThread& tx) {
   }
   // Memory already holds the final values; just publish the versions. No
   // sched point from here to return (oracle's serialization witness).
+  if (mvcc_) {
+    // Retire each written word's pre-transaction value (the first undo-log
+    // entry per address) into the stripe rings; horizon refresh paced as
+    // in OrecEagerRedoEngine::commit.
+    if ((mvcc_commits_.fetch_add(1, std::memory_order_relaxed) &
+         (OrecVersionRings::kHorizonRefreshPushes - 1)) == 0) {
+      rings_->set_horizon(clock_.quiescence_horizon());
+    }
+    mvcc_publish_undo(*rings_, orecs_, tx, ticket.end_time);
+  }
   for (const OwnedOrec& w : tx.wlocks) {
     w.orec->unlock_to_version(ticket.end_time);
   }

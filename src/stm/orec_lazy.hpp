@@ -13,8 +13,11 @@
 // behaves like the commit-time family under contention.
 #pragma once
 
+#include <memory>
+
 #include "stm/clock.hpp"
 #include "stm/engine.hpp"
+#include "stm/mvcc.hpp"
 #include "stm/orec_table.hpp"
 
 namespace votm::stm {
@@ -23,8 +26,14 @@ class OrecLazyEngine final : public TxEngine {
  public:
   explicit OrecLazyEngine(
       std::size_t orec_table_size = OrecTable::kDefaultSize,
-      ClockPolicy clock_policy = ClockPolicy::kGv1)
-      : clock_(clock_policy), orecs_(orec_table_size) {}
+      ClockPolicy clock_policy = ClockPolicy::kGv1, bool mvcc = false,
+      std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth)
+      : clock_(clock_policy),
+        orecs_(orec_table_size),
+        mvcc_(mvcc),
+        rings_(mvcc ? std::make_unique<OrecVersionRings>(orec_table_size,
+                                                         mvcc_ring_depth)
+                    : nullptr) {}
 
   const char* name() const noexcept override { return "OrecLazy"; }
 
@@ -37,13 +46,22 @@ class OrecLazyEngine final : public TxEngine {
   // Memory-order contract lives at VersionClock::read().
   std::uint64_t clock() const noexcept { return clock_.read(); }
   const VersionClock& version_clock() const noexcept { return clock_; }
+  bool mvcc() const noexcept { return mvcc_; }
+  OrecVersionRings* version_rings() noexcept { return rings_.get(); }
 
  private:
   bool read_log_valid(TxThread& tx, std::uint64_t bound) const noexcept;
   void extend(TxThread& tx, std::uint64_t observed);
 
+  // MVCC-lite read fallback (stm/mvcc.hpp); see OrecEagerRedoEngine.
+  bool mvcc_read(TxThread& tx, std::size_t stripe, const Word* addr,
+                 Word* out) noexcept;
+
   VersionClock clock_;
   OrecTable orecs_;
+  const bool mvcc_;
+  std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
+  std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
 };
 
 }  // namespace votm::stm

@@ -82,12 +82,21 @@ class OrecTable {
   }
 
   Orec& for_address(const void* addr) noexcept {
+    return orecs_[index_for(addr)].value;
+  }
+
+  // The stripe index behind for_address, exposed so sidecar per-stripe
+  // structures (the MVCC version rings) share the exact same address->stripe
+  // map without duplicating the hash.
+  std::size_t index_for(const void* addr) const noexcept {
     auto x = reinterpret_cast<std::uintptr_t>(addr) >> 3;
     x ^= x >> 13;
     x *= 0x9e3779b97f4a7c15ULL;
     x ^= x >> 31;
-    return orecs_[static_cast<std::size_t>(x) & mask_].value;
+    return static_cast<std::size_t>(x) & mask_;
   }
+
+  Orec& at(std::size_t index) noexcept { return orecs_[index].value; }
 
   std::size_t size() const noexcept { return orecs_.size(); }
 
