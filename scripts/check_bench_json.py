@@ -10,7 +10,10 @@ until someone tries to plot a trajectory. Run as a ctest step (label
   * every results entry carries an integer "threads" >= 1;
   * at least one top-level ratio section (a key containing "speedup",
     "ratio" or "_vs_") holds a non-empty list, so each baseline keeps
-    publishing the A/B comparison it exists for.
+    publishing the A/B comparison it exists for;
+  * every baseline in REQUIRED_BASELINES exists — a deleted or never-
+    regenerated file fails the gate instead of silently shrinking the
+    trajectory.
 
 Usage: check_bench_json.py [repo_root]
 Exits non-zero with one line per problem.
@@ -20,6 +23,17 @@ import glob
 import json
 import os
 import sys
+
+# Baselines every checkout must carry. Add the file here in the same PR
+# that introduces its bench binary.
+REQUIRED_BASELINES = [
+    "BENCH_admission.json",
+    "BENCH_clock.json",
+    "BENCH_escalation.json",
+    "BENCH_mvcc.json",
+    "BENCH_reclaim.json",
+    "BENCH_validation.json",
+]
 
 
 def check_file(path):
@@ -68,6 +82,11 @@ def main(argv):
         print("check_bench_json: no BENCH_*.json under {}".format(root))
         return 1
     problems = []
+    present = {os.path.basename(p) for p in paths}
+    for name in REQUIRED_BASELINES:
+        if name not in present:
+            problems.append("{}: required baseline missing".format(
+                os.path.join(root, name)))
     for path in paths:
         problems.extend(check_file(path))
     for p in problems:

@@ -470,6 +470,128 @@ Scenario::Outcome ViewStatsScenario::run_once(const SchedOptions& opts) {
 }
 
 // ---------------------------------------------------------------------------
+// ReclaimRaceScenario
+// ---------------------------------------------------------------------------
+
+std::string ReclaimRaceScenario::name() const {
+  std::ostringstream os;
+  os << "reclaim-race/" << stm::to_string(cfg_.algo) << "/r" << cfg_.readers
+     << "x" << cfg_.rounds << "k" << cfg_.list_len;
+  if (cfg_.clock_policy != stm::ClockPolicy::kGv1) {
+    os << "/" << stm::to_string(cfg_.clock_policy);
+  }
+  if (cfg_.mvcc) os << "+mvcc";
+  return os.str();
+}
+
+Scenario::Outcome ReclaimRaceScenario::run_once(const SchedOptions& opts) {
+  core::ViewConfig vc;
+  vc.algo = cfg_.algo;
+  vc.max_threads = cfg_.readers + 1;
+  vc.rac = core::RacMode::kFixed;
+  vc.fixed_quota = cfg_.readers + 1;  // everyone runs; the race is the point
+  vc.initial_bytes = 1 << 16;
+  vc.engine.clock_policy = cfg_.clock_policy;
+  vc.engine.mvcc = cfg_.mvcc;
+  vc.reclaim_threshold = 1;  // every exit with limbo non-empty runs a pass
+  core::View view(vc);
+
+  // List node layout (words): [0] value, [1] next. Values are kBase + seq
+  // with seq unique per node ever linked, so any word a reader can
+  // legitimately observe lies in [kBase, kBase + list_len + rounds).
+  constexpr stm::Word kBase = 0x5EED0000;
+  auto* head = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] {
+    core::vwrite<stm::Word>(head, 0);
+    for (unsigned i = 0; i < cfg_.list_len; ++i) {
+      auto* node = static_cast<stm::Word*>(view.alloc(2 * sizeof(stm::Word)));
+      core::vwrite<stm::Word>(&node[0], kBase + i);
+      core::vwrite<stm::Word>(&node[1], core::vread(head));
+      core::vwrite<stm::Word>(head, reinterpret_cast<stm::Word>(node));
+    }
+  });
+  const std::size_t baseline = view.arena().allocated();
+  const stm::Word value_bound = kBase + cfg_.list_len + cfg_.rounds;
+
+  ViolationSink sink;
+  CoopScheduler sched(cfg_.readers + 1, opts);
+  SchedResult res = sched.run([&](unsigned t) {
+    if (t == 0) {
+      // Freer: one transaction per round unlinks the head node, frees it
+      // (retired at commit) and links a replacement carrying a fresh value.
+      for (unsigned r = 0; r < cfg_.rounds; ++r) {
+        view.execute([&] {
+          const stm::Word first = core::vread(head);
+          auto* victim = reinterpret_cast<stm::Word*>(first);
+          core::vwrite<stm::Word>(head, core::vread(&victim[1]));
+          view.free(victim);
+          auto* fresh =
+              static_cast<stm::Word*>(view.alloc(2 * sizeof(stm::Word)));
+          core::vwrite<stm::Word>(&fresh[0], kBase + cfg_.list_len + r);
+          core::vwrite<stm::Word>(&fresh[1], core::vread(head));
+          core::vwrite<stm::Word>(head, reinterpret_cast<stm::Word>(fresh));
+        });
+      }
+      return;
+    }
+    // Readers: consistent walks. A block reclaimed under this walk would
+    // surface as an out-of-range value (arena free-list scribble) or a
+    // walk that escapes the structural length bound.
+    for (unsigned r = 0; r < cfg_.reads_per_reader; ++r) {
+      view.execute_read([&] {
+        stm::Word node = core::vread(head);
+        unsigned steps = 0;
+        while (node != 0) {
+          if (++steps > cfg_.list_len) {
+            sink.note("reader walk exceeded the list length: a reclaimed "
+                      "node was reused under a live snapshot");
+            return;
+          }
+          auto* words = reinterpret_cast<stm::Word*>(node);
+          const stm::Word v = core::vread(&words[0]);
+          if (v < kBase || v >= value_bound) {
+            std::ostringstream os;
+            os << "reader observed value 0x" << std::hex << v
+               << " never written by the workload (use-after-reclaim)";
+            sink.note(os.str());
+            return;
+          }
+          node = core::vread(&words[1]);
+        }
+      });
+    }
+  });
+
+  for (const std::string& e : res.thread_errors) {
+    sink.note("worker exception: " + e);
+  }
+
+  // Quiescent: no pins are live, so one forced pass must drain everything.
+  view.reclaim_garbage();
+  const stm::ReclaimStats rs = view.reclaim_stats();
+  total_retired_ += rs.retired;
+  if (rs.depth != 0 || rs.retired != rs.reclaimed) {
+    std::ostringstream os;
+    os << "limbo not drained at quiescence: retired=" << rs.retired
+       << " reclaimed=" << rs.reclaimed << " depth=" << rs.depth;
+    sink.note(os.str());
+  }
+  if (rs.retired != cfg_.rounds) {
+    std::ostringstream os;
+    os << "retire conservation: " << cfg_.rounds
+       << " committed frees but " << rs.retired << " blocks were retired";
+    sink.note(os.str());
+  }
+  if (view.arena().allocated() != baseline) {
+    std::ostringstream os;
+    os << "arena level " << view.arena().allocated() << " != baseline "
+       << baseline << " after full reclaim (leak or double count)";
+    sink.note(os.str());
+  }
+  return Outcome{std::move(res), sink.take()};
+}
+
+// ---------------------------------------------------------------------------
 // EscalationScenario
 // ---------------------------------------------------------------------------
 

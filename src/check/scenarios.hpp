@@ -169,6 +169,48 @@ class ViewStatsScenario final : public Scenario {
   ViewStatsConfig cfg_;
 };
 
+// Grace-period reclamation race (DESIGN.md §17): thread 0 — the freer —
+// repeatedly unlinks the head node of a shared list in view memory, frees
+// it (commit-time retire through the epoch layer) and links a fresh
+// replacement, all in one committing transaction, while reader threads
+// walk the list. With reclaim_threshold = 1 every freer exit runs a
+// reclaim pass, so the explorer interleaves doomed readers between the
+// unlink commit, the era advance (kEpochAdvance) and the arena free.
+// Oracles:
+//   * every value a reader observes is one the workload ever wrote — a
+//     block reclaimed under a live reader gets scribbled by the arena
+//     free-list (or poisoned under ASan) and fails the range check;
+//   * walks terminate within the structural bound (a reclaimed-and-reused
+//     node would let the walk escape the list or cycle);
+//   * after quiescence: one forced pass drains limbo completely, the
+//     arena allocation level returns to the post-setup baseline, and
+//     retired == reclaimed (no block leaks in limbo, none freed twice —
+//     the arena magic check turns a double free into a worker exception).
+struct ReclaimRaceConfig {
+  stm::Algo algo = stm::Algo::kNOrec;
+  unsigned readers = 2;      // threads 1..readers walk; thread 0 frees
+  unsigned rounds = 3;       // unlink+free+relink transactions by thread 0
+  unsigned reads_per_reader = 3;
+  unsigned list_len = 3;     // nodes in the initial list
+  stm::ClockPolicy clock_policy = stm::ClockPolicy::kGv1;
+  bool mvcc = false;         // see StmRandomConfig::mvcc
+};
+
+class ReclaimRaceScenario final : public Scenario {
+ public:
+  explicit ReclaimRaceScenario(ReclaimRaceConfig cfg) : cfg_(cfg) {}
+  std::string name() const override;
+  Outcome run_once(const SchedOptions& opts) override;
+
+  // Whole-campaign: blocks that ever sat in limbo (vacuity check — a
+  // campaign where nothing was retired proved nothing).
+  std::uint64_t total_retired() const noexcept { return total_retired_; }
+
+ private:
+  ReclaimRaceConfig cfg_;
+  std::uint64_t total_retired_ = 0;
+};
+
 // Escalation-ladder starvation scenario (DESIGN.md §14). Thread 0 — the
 // victim — carries a marked commit-tail fault so every one of its ordinary
 // commit attempts conflicts, while the peers run unfaulted. Without the

@@ -63,6 +63,9 @@ enum class SchedPointId : std::uint8_t {
   kStmClockTick,        // in VersionClock::tick, before the ticket RMW/CAS
   kStmMvccRead,         // before an MVCC ring lookup / snapshot reconstruct
   kStmRollback,         // rollback entry, before undo/unlock
+  kEpochAdvance,        // before a reclaim pass takes the limbo lock and
+                        // advances the grace-period era (stm/epoch.hpp)
+  kEpochPinWait,        // spinning on a peer's pending epoch pin (yield)
   kStmWaitSeq,          // spinning on an odd sequence lock (yield)
   kStmWaitOrec,         // spinning on a foreign orec lock (yield)
   kCglLock,             // waiting for the CGL/lock-mode mutex (yield)
@@ -102,6 +105,8 @@ inline const char* to_string(SchedPointId id) noexcept {
     case SchedPointId::kStmClockTick: return "stm.clock-tick";
     case SchedPointId::kStmMvccRead: return "stm.mvcc-read";
     case SchedPointId::kStmRollback: return "stm.rollback";
+    case SchedPointId::kEpochAdvance: return "epoch.advance";
+    case SchedPointId::kEpochPinWait: return "epoch.pin-wait";
     case SchedPointId::kStmWaitSeq: return "stm.wait-seq";
     case SchedPointId::kStmWaitOrec: return "stm.wait-orec";
     case SchedPointId::kCglLock: return "cgl.lock";

@@ -4,17 +4,68 @@
 #include <new>
 #include <stdexcept>
 
+// Manual ASan poisoning of the free list: freed payloads are poisoned so a
+// use-after-free through the arena (exactly the hazard the epoch layer in
+// stm/epoch.hpp exists to prevent) is a hard ASan report at the faulting
+// load, not a silent value corruption. Block headers stay unpoisoned — the
+// free list threads FreeBlock through them and free() validates magic.
+#if defined(__SANITIZE_ADDRESS__)
+#define VOTM_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VOTM_ARENA_ASAN 1
+#endif
+#endif
+#ifndef VOTM_ARENA_ASAN
+#define VOTM_ARENA_ASAN 0
+#endif
+
+#if VOTM_ARENA_ASAN
+extern "C" {
+void __asan_poison_memory_region(void const volatile* addr, std::size_t size);
+void __asan_unpoison_memory_region(void const volatile* addr,
+                                   std::size_t size);
+}
+#endif
+
 namespace votm::core {
 
 namespace {
 std::size_t round_up(std::size_t n, std::size_t align) {
   return (n + align - 1) / align * align;
 }
+
+inline void poison_region(const void* p, std::size_t n) {
+#if VOTM_ARENA_ASAN
+  __asan_poison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+inline void unpoison_region(const void* p, std::size_t n) {
+#if VOTM_ARENA_ASAN
+  __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
 }  // namespace
 
 Arena::Arena(std::size_t initial_bytes) {
   std::lock_guard<std::mutex> lk(mu_);
   add_segment_locked(std::max<std::size_t>(initial_bytes, kHeaderSize + kMinPayload));
+}
+
+Arena::~Arena() {
+  // Hand the segments back to operator delete[] unpoisoned: freeing heap
+  // chunks that contain manually poisoned sub-regions is undefined under
+  // some ASan runtimes.
+  for (const auto& [base, size] : segment_spans_) {
+    unpoison_region(base, size);
+  }
 }
 
 void Arena::add_segment_locked(std::size_t bytes) {
@@ -34,6 +85,7 @@ void Arena::insert_free_locked(std::byte* region, std::size_t payload) {
   // The free region is laid out as [header space][payload]; we thread the
   // FreeBlock through the header space, keeping the list address-ordered
   // and coalescing with adjacent free neighbours.
+  poison_region(region + kHeaderSize, payload);
   auto* blk = reinterpret_cast<FreeBlock*>(region);
   blk->size = payload;
   blk->next = nullptr;
@@ -45,14 +97,17 @@ void Arena::insert_free_locked(std::byte* region, std::size_t payload) {
   blk->next = *cursor;
   *cursor = blk;
 
-  // Coalesce blk with its successor, then the predecessor with blk.
+  // Coalesce blk with its successor, then the predecessor with blk. An
+  // absorbed neighbour's header becomes free-payload interior: poison it.
   auto end_of = [](FreeBlock* b) {
     return reinterpret_cast<std::byte*>(b) + kHeaderSize + b->size;
   };
   if (blk->next != nullptr &&
       end_of(blk) == reinterpret_cast<std::byte*>(blk->next)) {
-    blk->size += kHeaderSize + blk->next->size;
-    blk->next = blk->next->next;
+    FreeBlock* absorbed = blk->next;
+    blk->size += kHeaderSize + absorbed->size;
+    blk->next = absorbed->next;
+    poison_region(absorbed, kHeaderSize);
   }
   if (cursor != &free_head_) {
     auto* prev = reinterpret_cast<FreeBlock*>(
@@ -60,6 +115,7 @@ void Arena::insert_free_locked(std::byte* region, std::size_t payload) {
     if (end_of(prev) == reinterpret_cast<std::byte*>(blk)) {
       prev->size += kHeaderSize + blk->size;
       prev->next = blk->next;
+      poison_region(region, kHeaderSize);
     }
   }
 }
@@ -75,6 +131,10 @@ void* Arena::alloc(std::size_t size) {
       const std::size_t remainder = blk->size - payload;
       FreeBlock* next = blk->next;
       std::byte* base = reinterpret_cast<std::byte*>(blk);
+      // Unpoison the whole free payload before split surgery (the split
+      // tail's header is written inside it); the tail payload is
+      // re-poisoned after.
+      unpoison_region(base + kHeaderSize, blk->size);
       if (remainder >= kHeaderSize + kMinPayload) {
         // Split: tail of the block stays free.
         std::byte* tail = base + kHeaderSize + payload;
@@ -83,6 +143,7 @@ void* Arena::alloc(std::size_t size) {
         tail_blk->next = next;
         *cursor = tail_blk;
         blk->size = payload;
+        poison_region(tail + kHeaderSize, tail_blk->size);
       } else {
         *cursor = next;
       }

@@ -26,6 +26,7 @@ class Arena {
   static constexpr std::size_t kAlignment = 16;
 
   explicit Arena(std::size_t initial_bytes);
+  ~Arena();  // unpoisons segments before they return to the heap (ASan)
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;

@@ -84,6 +84,14 @@ struct ViewConfig {
   stm::EngineConfig engine{};
   BackoffPolicy backoff = BackoffPolicy::kNone;  // paper default: no backoff
 
+  // Grace-period reclamation (stm/epoch.hpp, DESIGN.md §17). Blocks freed
+  // inside transactions are retired to a limbo list at commit; once the
+  // list holds this many blocks, the next transaction exit runs an
+  // amortized reclaim pass (try-lock, so at most one thread pays it).
+  // 0 disables the amortized passes — retired blocks then return to the
+  // arena only under allocation pressure or via View::reclaim_garbage().
+  std::size_t reclaim_threshold = 64;
+
   // Progress guarantee for starving transactions. Requires admission
   // control (rac != kDisabled) for the serial rung — without a controller
   // there is nothing to drain, so only the aging rung applies.

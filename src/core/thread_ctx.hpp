@@ -37,6 +37,11 @@ struct ThreadCtx {
   // the transaction commits, so an abort cannot leak or double-free.
   std::vector<std::pair<Arena*, void*>> tx_allocs;
   std::vector<std::pair<Arena*, void*>> tx_frees;
+
+  // True while this thread holds an epoch pin in active_view's grace-
+  // period tracker (stm/epoch.hpp); set by View::enter for speculative
+  // engines, cleared on every exit path (commit, abort, exception).
+  bool epoch_pinned = false;
 };
 
 // The calling thread's context (thread-local singleton).

@@ -1,7 +1,10 @@
 #include "core/view.hpp"
 
 #include <algorithm>
+#include <new>
 #include <stdexcept>
+
+#include "check/sched_point.hpp"
 
 namespace votm::core {
 
@@ -38,7 +41,18 @@ View::View(ViewConfig config)
 }
 
 void* View::alloc(std::size_t size) {
-  void* block = arena_.alloc(size);
+  void* block;
+  try {
+    block = arena_.alloc(size);
+  } catch (const std::bad_alloc&) {
+    // Allocation pressure: force a reclaim pass — advance the era and
+    // drain every limbo block past the grace period — then retry once.
+    // Safe from inside a transaction: this thread's own pin holds the
+    // horizon at or below its era, so nothing it could still read is
+    // freed, only older garbage.
+    if (reclaim_pass(/*force=*/true) == 0) throw;
+    block = arena_.alloc(size);
+  }
   ThreadCtx& tc = thread_ctx();
   if (tc.tx.in_tx && tc.active_view == this && tc.tx.engine->speculative()) {
     tc.tx_allocs.emplace_back(&arena_, block);
@@ -94,6 +108,10 @@ void View::enter(ThreadCtx& tc, bool read_only) {
       admission_.acquire_serial();
       // Sampled after the serial drain; same ordering argument as below.
       engine = engine_.get();
+      if (engine->speculative()) {
+        epoch_.enter();
+        tc.epoch_pinned = true;
+      }
       engine->begin_serial(tx);
       return;
     }
@@ -112,6 +130,16 @@ void View::enter(ThreadCtx& tc, bool read_only) {
     }
   } else {
     engine = engine_.get();
+  }
+  // Epoch pin before the snapshot: from here until every exit path below,
+  // the grace-period horizon cannot pass this transaction's era, so no
+  // block it can still reach through view memory is handed back to the
+  // arena — even if the transaction is already doomed (stm/epoch.hpp).
+  // Lock mode (CGL) runs uninstrumented behind the view mutex and frees
+  // immediately; it never pins.
+  if (engine->speculative()) {
+    epoch_.enter();
+    tc.epoch_pinned = true;
   }
   engine->begin(tx);
 }
@@ -138,13 +166,23 @@ void View::exit(ThreadCtx& tc) {
   tx.last_tx_cycles = stm::tx_elapsed_cycles(tx);
   totals_.add_commit(tx.last_tx_cycles);
   if (config_.collect_latency) commit_latency_.record(tx.last_tx_cycles);
+  // The committing engine stamps the retired blocks (retire_stamp) before
+  // the descriptor is cleared for the next transaction.
+  stm::TxEngine* engine = tx.engine;
   tx.in_tx = false;
   tx.engine = nullptr;
   tx.consecutive_aborts = 0;
   tx.backoff.reset();
 
   tc.tx_allocs.clear();
-  apply_deferred_frees(tc);
+  apply_deferred_frees(tc, engine);
+  // Unpin only after the frees are retired: the blocks enter the limbo
+  // list stamped at an era this pin still holds, so a concurrent reclaim
+  // pass cannot free them before this store is visible.
+  if (tc.epoch_pinned) {
+    epoch_.exit();
+    tc.epoch_pinned = false;
+  }
   tc.active_view = nullptr;
 
   if (config_.rac != RacMode::kDisabled) {
@@ -155,6 +193,7 @@ void View::exit(ThreadCtx& tc) {
     }
   }
   note_event(tc);
+  maybe_reclaim();
 }
 
 void View::rollback_trampoline(stm::TxThread& tx) {
@@ -187,6 +226,14 @@ void View::handle_abort(ThreadCtx& tc) {
   }
   undo_tx_allocs(tc);
   tc.tx_frees.clear();  // deferred frees die with the transaction
+  // Unpin after the engine rollback (which already ran on the conflict
+  // path): until here the aborted transaction's read set could still be
+  // consulted by value validation, and its era pin is what kept those
+  // blocks out of the arena.
+  if (tc.epoch_pinned) {
+    epoch_.exit();
+    tc.epoch_pinned = false;
+  }
   if (config_.rac != RacMode::kDisabled) {
     if (was_serial) {
       admission_.release_serial();
@@ -244,6 +291,12 @@ void View::abort_for_exception(ThreadCtx& tc) {
   tx.serial = false;
   undo_tx_allocs(tc);
   tc.tx_frees.clear();
+  // Only a transaction this view entered can hold a pin in this view's
+  // tracker (the cross-view misuse guard fires before enter() pins).
+  if (was_entered && tc.epoch_pinned) {
+    epoch_.exit();
+    tc.epoch_pinned = false;
+  }
   tc.active_view = nullptr;
   // The misuse path has already left the admission controller (and cleared
   // active_view); a second leave() here would underflow P.
@@ -266,11 +319,58 @@ void View::undo_tx_allocs(ThreadCtx& tc) {
   tc.tx_allocs.clear();
 }
 
-void View::apply_deferred_frees(ThreadCtx& tc) {
+void View::apply_deferred_frees(ThreadCtx& tc, stm::TxEngine* engine) {
+  if (tc.tx_frees.empty()) return;
+  // Commit-time frees do not return to the arena here: another transaction
+  // may have read the block before this commit published (and be doomed
+  // but not yet rolled back), and the MVCC rings may still map versioned
+  // reads into it. Retire to the limbo list instead, stamped with the
+  // committing engine's timestamp; a reclaim pass frees the block once
+  // every pin has advanced past this era and retires the version-ring
+  // entries at or below the stamp first (stm/epoch.hpp, DESIGN.md §17).
+  const std::uint64_t stamp = engine != nullptr ? engine->retire_stamp() : 0;
   for (auto& [arena, block] : tc.tx_frees) {
-    arena->free(block);
+    (void)arena;  // transactional frees are always against this view's arena
+    limbo_.retire(epoch_, block, stamp);
   }
   tc.tx_frees.clear();
+}
+
+std::size_t View::reclaim_pass(bool force) {
+  // Before any lock: the explorer may park a thread here (and interleave
+  // peers between the era advance and the frees), so no blockable mutex
+  // can be held yet.
+  VOTM_SCHED_POINT(kEpochAdvance);
+  ThreadCtx& tc = thread_ctx();
+  const bool in_tx_here = tc.tx.in_tx && tc.active_view == this;
+  std::unique_lock<std::mutex> lk(algo_mu_, std::defer_lock);
+  if (!in_tx_here) {
+    // Pin engine_ against switch_algorithm for the duration of the pass.
+    // Inside a transaction the lock is unnecessary (the switch cannot
+    // drain while this thread is admitted) and taking it would deadlock
+    // against a switcher waiting for that very drain.
+    if (force) {
+      lk.lock();
+    } else if (!lk.try_lock()) {
+      return 0;  // amortized pass: someone is switching, try again later
+    }
+  }
+  stm::TxEngine* engine = engine_.get();
+  return limbo_.reclaim(
+      epoch_, force, [this](void* block) { arena_.free(block); },
+      [engine](std::uint64_t bound) {
+        if (bound != 0) engine->retire_versions_below(bound);
+      });
+}
+
+void View::maybe_reclaim() {
+  if (config_.reclaim_threshold == 0) return;
+  if (limbo_.depth() < config_.reclaim_threshold) return;
+  reclaim_pass(/*force=*/false);
+}
+
+std::size_t View::reclaim_garbage(bool force) {
+  return reclaim_pass(force);
 }
 
 unsigned View::quota() const {

@@ -31,6 +31,7 @@
 #include "rac/trace.hpp"
 #include "stm/cgl.hpp"
 #include "stm/engine.hpp"
+#include "stm/epoch.hpp"
 #include "stm/factory.hpp"
 #include "util/cacheline.hpp"
 #include "util/histogram.hpp"
@@ -53,6 +54,18 @@ class View {
   void free(void* ptr);
   void brk(std::size_t bytes) { arena_.extend(bytes); }
   Arena& arena() noexcept { return arena_; }
+
+  // Grace-period reclamation (stm/epoch.hpp, DESIGN.md §17). Transactional
+  // frees retire blocks to a limbo list at commit; they return to the
+  // arena only once every thread's epoch pin has advanced past the
+  // retiring era, so no concurrent (or doomed) transaction can still
+  // dereference them. Reclaim passes run amortized from transaction exits
+  // (ViewConfig::reclaim_threshold); this forces one now — e.g. before an
+  // allocated() audit, or at a phase boundary. Returns blocks reclaimed.
+  // With force = false it degrades to the amortized try-lock pass.
+  std::size_t reclaim_garbage(bool force = true);
+  std::size_t limbo_depth() const noexcept { return limbo_.depth(); }
+  stm::ReclaimStats reclaim_stats() const noexcept { return limbo_.stats(); }
 
   // ---- lambda API ---------------------------------------------------------
   template <typename Body>
@@ -197,7 +210,17 @@ class View {
   void abort_for_exception(ThreadCtx& tc);
 
   void undo_tx_allocs(ThreadCtx& tc);
-  void apply_deferred_frees(ThreadCtx& tc);
+  // Retires the transaction's deferred frees into the limbo list, stamped
+  // with `engine`'s retire timestamp (the committing engine, captured
+  // before tx.engine is cleared).
+  void apply_deferred_frees(ThreadCtx& tc, stm::TxEngine* engine);
+  // One reclaim pass over the limbo list. Callers not inside a transaction
+  // on this view take algo_mu_ so engine_ cannot be swapped out from under
+  // the version-ring retirement callback; in-transaction callers (the
+  // allocation-pressure path) skip the lock — switch_algorithm cannot
+  // complete its drain while this thread is admitted, so engine_ is stable.
+  std::size_t reclaim_pass(bool force);
+  void maybe_reclaim();
 
   // Epoch bookkeeping: called after every commit/abort event. Folding the
   // striped event count is O(stripes), so each thread only checks the epoch
@@ -213,6 +236,12 @@ class View {
   rac::AdaptivePolicy policy_;
   AlgoSelector algo_selector_;
   mutable std::mutex algo_mu_;  // guards config_.algo reads vs switches
+
+  // Grace-period tracker + limbo list for commit-time frees (DESIGN.md
+  // §17). Per-view, like the rest of the STM metadata: transactions on
+  // other views never scan these slots.
+  stm::EpochTracker epoch_;
+  stm::LimboList limbo_;
 
   stm::StripedEpochStats totals_;
   // Whole-run consecutive-abort high-water mark (watchdog diagnostic).

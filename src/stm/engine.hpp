@@ -159,6 +159,27 @@ class TxEngine {
     tx.serial = false;
     commit(tx);
   }
+
+  // --- grace-period reclamation hooks (stm/epoch.hpp, DESIGN.md §17) -----
+  // Upper bound, in this engine's commit-clock domain, on the commit
+  // timestamp of the calling thread's just-committed transaction. The
+  // epoch layer stamps retired blocks with it so MVCC ring retirement
+  // can be folded into the reclaim horizon. 0 = no commit clock (CGL,
+  // TML): rings don't exist there, so nothing to fold.
+  virtual std::uint64_t retire_stamp() noexcept { return 0; }
+
+  // The engine's commit-activity quiescence bound (VersionClock::
+  // quiescence_horizon or equivalent). Steers ring recycling; never a
+  // safety gate (see the liveness discussion in stm/epoch.hpp).
+  virtual std::uint64_t version_horizon() noexcept { return 0; }
+
+  // Drop every retained MVCC ring entry whose visibility window closed
+  // at or below `bound`. The epoch layer calls this right before it
+  // frees blocks retired by commits <= bound, so rings never outlive
+  // the memory their (addr, value) pairs reference.
+  virtual void retire_versions_below(std::uint64_t bound) noexcept {
+    (void)bound;
+  }
 };
 
 // Marks the logical start of a transaction for cycle accounting. Engines

@@ -20,15 +20,15 @@ std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
     case Algo::kOrecEagerRedo:
       return std::make_unique<OrecEagerRedoEngine>(
           config.orec_table_size, config.clock_policy, config.mvcc,
-          config.mvcc_ring_depth);
+          config.mvcc_ring_depth, config.mvcc_horizon_refresh);
     case Algo::kOrecLazy:
-      return std::make_unique<OrecLazyEngine>(config.orec_table_size,
-                                              config.clock_policy, config.mvcc,
-                                              config.mvcc_ring_depth);
+      return std::make_unique<OrecLazyEngine>(
+          config.orec_table_size, config.clock_policy, config.mvcc,
+          config.mvcc_ring_depth, config.mvcc_horizon_refresh);
     case Algo::kOrecEagerUndo:
       return std::make_unique<OrecEagerUndoEngine>(
           config.orec_table_size, config.clock_policy, config.mvcc,
-          config.mvcc_ring_depth);
+          config.mvcc_ring_depth, config.mvcc_horizon_refresh);
     case Algo::kTml:
       return std::make_unique<TmlEngine>();
     case Algo::kCgl:

@@ -42,12 +42,18 @@
 //
 // Retirement: any eviction is safe (a reader that misses merely conflicts,
 // the pre-MVCC behaviour), so retirement is a reuse POLICY, not a safety
-// protocol. push() prefers recycling slots whose window closed at or below
-// the cached quiescence horizon (VersionClock::quiescence_horizon() — every
-// thread has committed past them, so they mostly serve snapshots older
-// than any recent reader) before falling back to round-robin; the engines
-// refresh the cache every kHorizonRefreshPushes commits. retire_below()
-// exists for explicit reclamation and the dedicated unit test. Note the
+// protocol — with ONE exception layered on top by PR 7: entries can point
+// into memory a committed transaction freed, so the epoch layer
+// (stm/epoch.hpp) calls retire_below() with the freeing commits' timestamp
+// bound right before the arena reclaims those blocks, guaranteeing rings
+// never outlive the memory they reference. push() prefers recycling slots
+// whose window closed at or below the cached quiescence horizon
+// (VersionClock::quiescence_horizon() — every thread has committed past
+// them, so they mostly serve snapshots older than any recent reader)
+// before falling back to round-robin eviction of a live entry ("lapping"),
+// and returns false on that fallback so the engine can refresh its cached
+// horizon immediately instead of waiting out the refresh cadence
+// (EngineConfig::mvcc_horizon_refresh, default 256 commits). Note the
 // horizon bounds writer recency, not reader snapshots: a very long reader
 // may still lose its entry to reuse — and then conflicts, safely.
 #pragma once
@@ -77,6 +83,16 @@ inline constexpr bool kMvccDefault =
     true;
 #endif
 
+// Rounds a horizon-refresh cadence (EngineConfig::mvcc_horizon_refresh)
+// up to a power of two, minimum 1, and returns it as the commit-counter
+// mask the engines test with `(counter++ & mask) == 0`.
+inline constexpr std::uint32_t horizon_refresh_mask(
+    std::uint32_t cadence) noexcept {
+  std::uint32_t p = 1;
+  while (p < cadence && p < (std::uint32_t{1} << 31)) p <<= 1;
+  return p - 1;
+}
+
 // Per-stripe version rings for the orec engines.
 class OrecVersionRings {
  public:
@@ -97,25 +113,27 @@ class OrecVersionRings {
   // Publishes "addr held `value` for every snapshot in [from, until)".
   // Caller must hold the stripe's write lock (pushes to one ring never
   // race); readers are fenced off by the stamp protocol. Slot choice
-  // prefers entries already retired below the cached horizon, else
-  // round-robin.
-  void push(std::size_t stripe, const Word* addr, Word value,
+  // prefers recycling an empty slot or an entry already retired below
+  // the cached horizon; returns false when it had to round-robin-evict
+  // a live entry instead (the "lapped" signal — the caller should
+  // refresh the cached horizon, see the file header).
+  bool push(std::size_t stripe, const Word* addr, Word value,
             std::uint64_t from, std::uint64_t until) noexcept {
     Entry* ring = &entries_[stripe * depth_];
     const std::uint64_t h = horizon_.load(std::memory_order_relaxed);
     std::size_t idx = depth_;
-    if (h != 0) {
-      for (std::size_t i = 0; i < depth_; ++i) {
-        const std::uint64_t st = ring[i].stamp.load(std::memory_order_relaxed);
-        if (st != 0 && st <= h) {
-          idx = i;
-          break;
-        }
+    bool lapped = false;
+    for (std::size_t i = 0; i < depth_; ++i) {
+      const std::uint64_t st = ring[i].stamp.load(std::memory_order_relaxed);
+      if (st == 0 || (h != 0 && st <= h)) {
+        idx = i;
+        break;
       }
     }
     if (idx == depth_) {
       idx = heads_[stripe];
       heads_[stripe] = idx + 1 == depth_ ? 0 : static_cast<std::uint32_t>(idx + 1);
+      lapped = true;
     }
     Entry& e = ring[idx];
     e.stamp.store(0, std::memory_order_relaxed);
@@ -124,6 +142,7 @@ class OrecVersionRings {
     e.addr.store(addr, std::memory_order_relaxed);
     e.value.store(value, std::memory_order_relaxed);
     e.stamp.store(until, std::memory_order_release);
+    return !lapped;
   }
 
   // Finds an entry for `addr` whose window covers `snapshot`; on success
@@ -266,6 +285,34 @@ class CommitLogRing {
   // caller is responsible for re-checking that the sequence lock still
   // reads `now` afterwards (a mid-walk committer can fail stamps here
   // spuriously; the re-check turns that into a retry, not an abort).
+  // Drops every published commit slot whose (even) sequence stamp is at
+  // or below `bound`: readers crossing a dropped slot fail reconstruction
+  // and fall back to a conflict, which is exactly the fail-closed
+  // contract. Called by the epoch layer before freed memory is reclaimed
+  // so no slot's (addr, old value) pairs reference it. Safe against
+  // concurrent readers (stamp re-check) and publishers (a publisher
+  // rewriting the slot observes its own newer stamp last).
+  std::size_t retire_below(std::uint64_t bound) noexcept {
+    std::size_t retired = 0;
+    for (Slot_& slot : slots_) {
+      const std::uint64_t st = slot.stamp.load(std::memory_order_relaxed);
+      if (st != 0 && st <= bound) {
+        slot.stamp.store(0, std::memory_order_relaxed);
+        ++retired;
+      }
+    }
+    return retired;
+  }
+
+  // Live (stamped) slots; test/introspection only.
+  std::size_t live_slots() const noexcept {
+    std::size_t live = 0;
+    for (const Slot_& slot : slots_) {
+      if (slot.stamp.load(std::memory_order_relaxed) != 0) ++live;
+    }
+    return live;
+  }
+
   bool reconstruct(const Word* addr, std::uint64_t snapshot, std::uint64_t now,
                    Word* value) const noexcept {
     if (((now - snapshot) >> 1) > kSlots) return false;  // guaranteed lap
@@ -321,17 +368,21 @@ inline std::uint64_t owned_version_for(const std::vector<OwnedOrec>& wlocks,
 
 // Redo-family engines (OrecEagerRedo, OrecLazy): memory still holds the
 // pre-commit values, so each written word's retiring value is read straight
-// from memory. Call BEFORE the write-back pass.
-inline void mvcc_publish_redo(OrecVersionRings& rings, OrecTable& orecs,
+// from memory. Call BEFORE the write-back pass. Returns true if any push
+// had to evict a live entry (the ring lapped) — the engine should refresh
+// its cached quiescence horizon.
+inline bool mvcc_publish_redo(OrecVersionRings& rings, OrecTable& orecs,
                               const TxThread& tx,
                               std::uint64_t end_time) noexcept {
   std::size_t hint = 0;
+  bool lapped = false;
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     const std::size_t stripe = orecs.index_for(e.addr);
     const std::uint64_t from =
         detail::owned_version_for(tx.wlocks, &orecs.at(stripe), hint);
-    rings.push(stripe, e.addr, load_word(e.addr), from, end_time);
+    lapped |= !rings.push(stripe, e.addr, load_word(e.addr), from, end_time);
   }
+  return lapped;
 }
 
 // Undo-family engine (OrecEagerUndo): memory already holds the new values;
@@ -339,9 +390,10 @@ inline void mvcc_publish_redo(OrecVersionRings& rings, OrecTable& orecs,
 // entry for that address. tx.wset is unused by the undo engine and doubles
 // as the per-address dedup set here; commit's clear_logs() wipes it along
 // with everything else.
-inline void mvcc_publish_undo(OrecVersionRings& rings, OrecTable& orecs,
+inline bool mvcc_publish_undo(OrecVersionRings& rings, OrecTable& orecs,
                               TxThread& tx, std::uint64_t end_time) {
   std::size_t hint = 0;
+  bool lapped = false;
   for (const ValueReadLog::Entry& e : tx.vlog.entries()) {
     if (tx.wset.lookup(e.addr) != nullptr) continue;
     Word* addr = const_cast<Word*>(e.addr);
@@ -349,8 +401,9 @@ inline void mvcc_publish_undo(OrecVersionRings& rings, OrecTable& orecs,
     const std::size_t stripe = orecs.index_for(addr);
     const std::uint64_t from =
         detail::owned_version_for(tx.wlocks, &orecs.at(stripe), hint);
-    rings.push(stripe, addr, e.value, from, end_time);
+    lapped |= !rings.push(stripe, addr, e.value, from, end_time);
   }
+  return lapped;
 }
 
 }  // namespace votm::stm

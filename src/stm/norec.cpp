@@ -244,6 +244,9 @@ void NOrecEngine::commit(TxThread& tx) {
   // No sched point past this release: the publish-to-return window must
   // stay uninterleaved for the harness's serialization witness.
   seq.store(tx.snapshot + 2, std::memory_order_release);
+  // Quiescence slot for the epoch layer's version_horizon(); one load +
+  // release store, no RMW.
+  quiesce_.note_commit(tx.snapshot + 2);
   tx.clear_logs();
 }
 
@@ -293,6 +296,7 @@ void NOrecEngine::end_serial(TxThread& tx) {
   // as any committed writer.
   tx.serial = false;
   seqlock_.value.store(tx.snapshot + 2, std::memory_order_release);
+  quiesce_.note_commit(tx.snapshot + 2);
   tx.clear_logs();
 }
 

@@ -37,6 +37,7 @@
 #include <atomic>
 #include <memory>
 
+#include "stm/clock.hpp"
 #include "stm/engine.hpp"
 #include "stm/mvcc.hpp"
 #include "stm/signature.hpp"
@@ -72,6 +73,24 @@ class NOrecEngine final : public TxEngine {
   }
   bool commit_filters() const noexcept { return filters_; }
   bool mvcc() const noexcept { return mvcc_; }
+  CommitLogRing* commit_log() noexcept { return commit_log_.get(); }
+
+  // Grace-period reclamation hooks (stm/epoch.hpp, DESIGN.md §17). NOrec
+  // has no version clock; its commit-clock domain is the sequence lock.
+  // A relaxed load is a sound upper bound on the calling thread's own
+  // just-published commit (the sequence is monotone and the caller's
+  // release store is program-ordered before this).
+  std::uint64_t retire_stamp() noexcept override { return sequence(); }
+  // Commit-activity quiescence over the sequence-lock domain, tracked by
+  // a dedicated slot clock fed from the writer commit tail (note_commit
+  // is a load + release store, no RMW — see VersionClock). Steers
+  // CommitLogRing recycling decisions only; never a safety gate.
+  std::uint64_t version_horizon() noexcept override {
+    return quiesce_.quiescence_horizon();
+  }
+  void retire_versions_below(std::uint64_t bound) noexcept override {
+    if (commit_log_) commit_log_->retire_below(bound);
+  }
 
  private:
   // One broadcast slot: the even sequence value a commit published, plus
@@ -116,6 +135,10 @@ class NOrecEngine final : public TxEngine {
   const bool mvcc_;
   std::unique_ptr<CommitLogRing> commit_log_;  // allocated iff mvcc_
   std::array<SigSlot, kSigRingSlots> ring_{};
+  // Per-thread quiescence slots over the sequence-lock domain (used only
+  // for note_commit/quiescence_horizon; the clock itself stays the
+  // seqlock). Feeds version_horizon() for commit-log recycling.
+  VersionClock quiesce_{ClockPolicy::kGv1};
 };
 
 }  // namespace votm::stm

@@ -173,12 +173,20 @@ void OrecEagerRedoEngine::commit(TxThread& tx) {
   if (mvcc_) {
     // Retire the pre-commit values into the stripe rings (before the
     // write-back overwrites them), refreshing the recycling horizon from
-    // the quiescence slots every kHorizonRefreshPushes commits.
+    // the quiescence slots every EngineConfig::mvcc_horizon_refresh
+    // commits — and immediately when a push had to lap a live entry,
+    // which bounds the stale-horizon window to one lapped commit
+    // (kEpochStaleHorizon injects exactly that staleness to test the
+    // window; recycling is a policy, so a stale bound is never unsafe).
     if ((mvcc_commits_.fetch_add(1, std::memory_order_relaxed) &
-         (OrecVersionRings::kHorizonRefreshPushes - 1)) == 0) {
+         horizon_mask_) == 0 &&
+        !VOTM_FAULT(kEpochStaleHorizon)) {
       rings_->set_horizon(clock_.quiescence_horizon());
     }
-    mvcc_publish_redo(*rings_, orecs_, tx, ticket.end_time);
+    if (mvcc_publish_redo(*rings_, orecs_, tx, ticket.end_time) &&
+        !VOTM_FAULT(kEpochStaleHorizon)) {
+      rings_->set_horizon(clock_.quiescence_horizon());
+    }
   }
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     store_word(e.addr, e.value);

@@ -23,13 +23,16 @@ class OrecEagerRedoEngine final : public TxEngine {
   explicit OrecEagerRedoEngine(
       std::size_t orec_table_size = OrecTable::kDefaultSize,
       ClockPolicy clock_policy = ClockPolicy::kGv1, bool mvcc = false,
-      std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth)
+      std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
+      std::uint32_t mvcc_horizon_refresh =
+          OrecVersionRings::kHorizonRefreshPushes)
       : clock_(clock_policy),
         orecs_(orec_table_size),
         mvcc_(mvcc),
         rings_(mvcc ? std::make_unique<OrecVersionRings>(orec_table_size,
                                                          mvcc_ring_depth)
-                    : nullptr) {}
+                    : nullptr),
+        horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)) {}
 
   const char* name() const noexcept override { return "OrecEagerRedo"; }
 
@@ -45,6 +48,22 @@ class OrecEagerRedoEngine final : public TxEngine {
   OrecTable& orec_table() noexcept { return orecs_; }
   bool mvcc() const noexcept { return mvcc_; }
   OrecVersionRings* version_rings() noexcept { return rings_.get(); }
+
+  // Grace-period reclamation hooks (stm/epoch.hpp, DESIGN.md §17). The
+  // retire stamp must dominate the calling thread's just-published commit
+  // even under GV5, where end times run ahead of the raw clock — hence
+  // the max with the thread's own quiescence slot.
+  std::uint64_t retire_stamp() noexcept override {
+    const std::uint64_t own = clock_.last_commit(thread_ordinal());
+    const std::uint64_t global = clock_.read();
+    return own > global ? own : global;
+  }
+  std::uint64_t version_horizon() noexcept override {
+    return clock_.quiescence_horizon();
+  }
+  void retire_versions_below(std::uint64_t bound) noexcept override {
+    if (rings_) rings_->retire_below(bound);
+  }
 
  private:
   // Validates the orec read log; returns false if any orec is foreign-locked
@@ -69,6 +88,7 @@ class OrecEagerRedoEngine final : public TxEngine {
   const bool mvcc_;
   std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
   std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
+  const std::uint32_t horizon_mask_;  // EngineConfig::mvcc_horizon_refresh
 };
 
 }  // namespace votm::stm

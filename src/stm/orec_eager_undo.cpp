@@ -156,13 +156,17 @@ void OrecEagerUndoEngine::commit(TxThread& tx) {
   // sched point from here to return (oracle's serialization witness).
   if (mvcc_) {
     // Retire each written word's pre-transaction value (the first undo-log
-    // entry per address) into the stripe rings; horizon refresh paced as
-    // in OrecEagerRedoEngine::commit.
+    // entry per address) into the stripe rings; horizon refresh paced
+    // (and re-run on a lapped push) as in OrecEagerRedoEngine::commit.
     if ((mvcc_commits_.fetch_add(1, std::memory_order_relaxed) &
-         (OrecVersionRings::kHorizonRefreshPushes - 1)) == 0) {
+         horizon_mask_) == 0 &&
+        !VOTM_FAULT(kEpochStaleHorizon)) {
       rings_->set_horizon(clock_.quiescence_horizon());
     }
-    mvcc_publish_undo(*rings_, orecs_, tx, ticket.end_time);
+    if (mvcc_publish_undo(*rings_, orecs_, tx, ticket.end_time) &&
+        !VOTM_FAULT(kEpochStaleHorizon)) {
+      rings_->set_horizon(clock_.quiescence_horizon());
+    }
   }
   for (const OwnedOrec& w : tx.wlocks) {
     w.orec->unlock_to_version(ticket.end_time);

@@ -29,13 +29,16 @@ class OrecEagerUndoEngine final : public TxEngine {
   explicit OrecEagerUndoEngine(
       std::size_t orec_table_size = OrecTable::kDefaultSize,
       ClockPolicy clock_policy = ClockPolicy::kGv1, bool mvcc = false,
-      std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth)
+      std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
+      std::uint32_t mvcc_horizon_refresh =
+          OrecVersionRings::kHorizonRefreshPushes)
       : clock_(clock_policy),
         orecs_(orec_table_size),
         mvcc_(mvcc),
         rings_(mvcc ? std::make_unique<OrecVersionRings>(orec_table_size,
                                                          mvcc_ring_depth)
-                    : nullptr) {}
+                    : nullptr),
+        horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)) {}
 
   const char* name() const noexcept override { return "OrecEagerUndo"; }
 
@@ -51,6 +54,20 @@ class OrecEagerUndoEngine final : public TxEngine {
   bool mvcc() const noexcept { return mvcc_; }
   OrecVersionRings* version_rings() noexcept { return rings_.get(); }
 
+  // Grace-period reclamation hooks (stm/epoch.hpp, DESIGN.md §17); see
+  // OrecEagerRedoEngine for the GV5 retire-stamp rationale.
+  std::uint64_t retire_stamp() noexcept override {
+    const std::uint64_t own = clock_.last_commit(thread_ordinal());
+    const std::uint64_t global = clock_.read();
+    return own > global ? own : global;
+  }
+  std::uint64_t version_horizon() noexcept override {
+    return clock_.quiescence_horizon();
+  }
+  void retire_versions_below(std::uint64_t bound) noexcept override {
+    if (rings_) rings_->retire_below(bound);
+  }
+
  private:
   bool read_log_valid(TxThread& tx, std::uint64_t bound) const noexcept;
   void extend(TxThread& tx, std::uint64_t observed);
@@ -64,6 +81,7 @@ class OrecEagerUndoEngine final : public TxEngine {
   const bool mvcc_;
   std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
   std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
+  const std::uint32_t horizon_mask_;  // EngineConfig::mvcc_horizon_refresh
 };
 
 }  // namespace votm::stm

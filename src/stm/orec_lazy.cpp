@@ -167,12 +167,17 @@ void OrecLazyEngine::commit(TxThread& tx) {
   // every reader-vs-locked-orec interleaving.
   if (mvcc_) {
     // Retire pre-commit values into the stripe rings before write-back;
-    // horizon refresh paced as in OrecEagerRedoEngine::commit.
+    // horizon refresh paced (and re-run on a lapped push) as in
+    // OrecEagerRedoEngine::commit.
     if ((mvcc_commits_.fetch_add(1, std::memory_order_relaxed) &
-         (OrecVersionRings::kHorizonRefreshPushes - 1)) == 0) {
+         horizon_mask_) == 0 &&
+        !VOTM_FAULT(kEpochStaleHorizon)) {
       rings_->set_horizon(clock_.quiescence_horizon());
     }
-    mvcc_publish_redo(*rings_, orecs_, tx, ticket.end_time);
+    if (mvcc_publish_redo(*rings_, orecs_, tx, ticket.end_time) &&
+        !VOTM_FAULT(kEpochStaleHorizon)) {
+      rings_->set_horizon(clock_.quiescence_horizon());
+    }
   }
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     store_word(e.addr, e.value);

@@ -31,7 +31,10 @@ constexpr Word reservation_id(Word packed) {
 class ResourceTable {
  public:
   ResourceTable(core::View& view, std::size_t expected_rows)
-      : view_(&view), map_(view, expected_rows * 2) {}
+      : view_(&view), map_(view, expected_rows * 2) {
+    released_into_retired_ = static_cast<Word*>(view.alloc(sizeof(Word)));
+    core::vwrite<Word>(released_into_retired_, 0);
+  }
 
   // tx: creates or grows a resource row.
   void add(Word id, Word count, Word price) {
@@ -76,12 +79,26 @@ class ResourceTable {
     return true;
   }
 
-  // tx: returns one reserved unit.
-  void release(Word id) {
+  // tx: returns one reserved unit. Returns false when the row is gone
+  // (retired while the unit was out): the unit cannot re-enter the free
+  // pool, so it is counted in released_into_retired instead of silently
+  // evaporating — conservation checks add the counter back to balance.
+  bool release(Word id) {
     Word packed = 0;
-    if (!map_.get(id, &packed)) return;  // retired row: unit evaporates
+    if (!map_.get(id, &packed)) {
+      core::vadd<Word>(released_into_retired_, 1);
+      return false;
+    }
     Word* rec = reinterpret_cast<Word*>(packed);
     core::vadd<Word>(&rec[1], 1);
+    return true;
+  }
+
+  // tx or standalone: units released against rows that no longer exist
+  // (the conservation ledger's sink side).
+  Word released_into_retired() const {
+    return containers::read_transactionally(
+        *view_, [&] { return core::vread(released_into_retired_); });
   }
 
   // tx: reads {total, free, price}; false when absent.
@@ -108,6 +125,7 @@ class ResourceTable {
  private:
   core::View* view_;
   containers::TxHashMap map_;
+  Word* released_into_retired_ = nullptr;  // view memory, transactional
 };
 
 class CustomerTable {

@@ -128,6 +128,7 @@ void VacationWorld::worker(unsigned tid) {
 
   std::uint64_t made = 0, denied = 0, deleted = 0;
   std::vector<Word> drained;
+  std::vector<Word> candidates;
 
   const auto pick_kind = [&]() {
     return static_cast<Kind>(1 + rng.below(3));
@@ -140,17 +141,24 @@ void VacationWorld::worker(unsigned tid) {
       // ---- MakeReservation ------------------------------------------------
       const Kind kind = pick_kind();
       ResourceTable& table = table_of(kind);
+      // Candidates are drawn BEFORE the transaction: the body re-executes
+      // after an abort, and drawing inside it would advance the RNG by an
+      // interleaving-dependent amount, shifting every later task roll —
+      // the seed would no longer determine the task mix.
+      candidates.clear();
+      for (unsigned q = 0; q < config_.queries_per_task; ++q) {
+        candidates.push_back(1 + rng.below(config_.relations));
+      }
       Word chosen = 0;
       bool reserved = false;
       view_of(kind).execute([&] {
         if (config_.yield_in_tx) core::yield_in_transaction();
-        // Scan q candidates for the cheapest available unit, then reserve
-        // it — query and reserve in one transaction, one view.
+        // Scan the candidates for the cheapest available unit, then
+        // reserve it — query and reserve in one transaction, one view.
         chosen = 0;
         reserved = false;
         Word best_price = ~Word{0};
-        for (unsigned q = 0; q < config_.queries_per_task; ++q) {
-          const Word id = 1 + rng.below(config_.relations);
+        for (const Word id : candidates) {
           Word free = 0, price = 0;
           if (table.query(id, nullptr, &free, &price) && free > 0 &&
               price < best_price) {

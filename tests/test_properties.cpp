@@ -287,8 +287,12 @@ TEST(ViewMemoryProperty, AbortStormNeverLeaksArenaMemory) {
   }
   for (auto& th : pool) th.join();
   // Every path (commit with deferred frees, exception rollback) returns all
-  // blocks: allocation level must be back to the baseline.
+  // blocks: after a forced reclaim drains the limbo list (all threads have
+  // joined, so no era pin can hold anything back), the allocation level
+  // must be back to the baseline.
+  view.reclaim_garbage();
   EXPECT_EQ(view.arena().allocated(), baseline);
+  EXPECT_EQ(view.limbo_depth(), 0u);
 }
 
 }  // namespace

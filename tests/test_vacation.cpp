@@ -84,6 +84,28 @@ TEST(ResourceTableTest, RetireOnlyRemovesSpareCapacity) {
   });
 }
 
+TEST(ResourceTableTest, ReleaseAgainstMissingRowLandsInRetiredLedger) {
+  core::View view(table_view_config());
+  ResourceTable table(view, 16);
+  view.execute([&] {
+    table.add(1, 2, 100);
+    ASSERT_TRUE(table.reserve(1, nullptr));
+    ASSERT_TRUE(table.reserve(1, nullptr));
+    EXPECT_TRUE(table.release(1));     // returns to the free pool
+    EXPECT_FALSE(table.release(99));   // row never existed
+    EXPECT_FALSE(table.release(99));   // counted per unit, not per row
+  });
+  // Accessor works standalone (wraps its own read transaction).
+  EXPECT_EQ(table.released_into_retired(), 2u);
+  // Conservation: every reserved unit is either back in the free pool or
+  // still outstanding, and every failed release sits in the ledger
+  // instead of silently evaporating.
+  Word free = 0;
+  view.execute_read([&] { table.query(1, nullptr, &free, nullptr); });
+  EXPECT_EQ(free, 1u);
+  EXPECT_EQ(table.outstanding(), 1u);
+}
+
 TEST(ResourceTableTest, AddGrowsExistingRow) {
   core::View view(table_view_config());
   ResourceTable table(view, 16);

@@ -449,8 +449,11 @@ TEST(ViewMemory, FreeInsideTransactionIsDeferredToCommit) {
   }),
                Boom);
   EXPECT_EQ(view.arena().allocated(), with_block);
-  // Committed transaction: now it happens.
+  // Committed transaction: the block is retired to the limbo list, and a
+  // forced reclaim pass (no concurrent pins) hands it back to the arena.
   view.execute([&] { view.free(block); });
+  EXPECT_EQ(view.limbo_depth(), 1u);
+  EXPECT_EQ(view.reclaim_garbage(), 1u);
   EXPECT_LT(view.arena().allocated(), with_block);
 }
 
