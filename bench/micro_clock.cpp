@@ -3,7 +3,8 @@
 // Two questions, two groups of cells:
 //
 //   orec_commit (policy cells) — writer-commit throughput of one shared
-//       OrecEagerUndo engine under GV1 / GV4 / GV5 at 1/2/4/8 threads.
+//       OrecEagerUndo engine under GV1 / GV4 / GV5 / GV6 at 1/2/4/8
+//       threads.
 //       Each transaction blind-writes one thread-private padded cache
 //       line, rotating over `lines` (default 64) of them, so the ONLY
 //       shared state is TM metadata and the clock's share of the commit
@@ -11,8 +12,8 @@
 //       tail (write-through: no redo-log replay between lock and clock),
 //       which is exactly where a clock policy matters most; the harness
 //       drives begin/write/commit directly with cycle telemetry off
-//       (TxThread::collect_cycles = false, identically for all three
-//       policies) so the two per-transaction rdtsc reads (~30ns on the
+//       (TxThread::collect_cycles = false, identically for every
+//       policy) so the two per-transaction rdtsc reads (~30ns on the
 //       reference host) don't dilute the clock's share of a sub-30ns
 //       commit. The rotation is what lets GV5 amortize: a commit
 //       leaves the line's orec at a future timestamp, and the next time
@@ -24,6 +25,12 @@
 //       where timeslices serialize the RMWs) it prices the same as GV1 —
 //       its win is the pass-on-failure under real multicore contention,
 //       so expect ~1.0x here and read the GV5 column for the headroom.
+//       GV6 shards the clock: its commit scans the 8 shard lines and
+//       CAS-maxes only its own, and its begin reads a thread-cached
+//       bound behind a core-local fence instead of loading the shared
+//       clock line — on a single-core host the scan + fence price
+//       (against GV1's one hot-in-cache RMW) is what this cell reports;
+//       the shard-lane independence it buys back is a multicore effect.
 //
 //   norec_meta/orec_meta shared vs split (legacy cells) — the original
 //       Section III-D isolation: the same disjoint-data transactions
@@ -297,7 +304,7 @@ void write_json(const std::string& path, const std::vector<CellResult>& rs,
 
 int main(int argc, char** argv) {
   CliFlags flags(
-      "Commit-clock A/B microbench: GV1/GV4/GV5 writer-commit throughput on "
+      "Commit-clock A/B microbench: GV1/GV4/GV5/GV6 writer-commit throughput on "
       "disjoint data, plus the legacy shared-vs-split metadata cells.");
   flags
       .flag("threads", "8", "max thread count (cells run at 1/2/4/..max)")
@@ -341,17 +348,19 @@ int main(int argc, char** argv) {
               "variant", "commits", "wall_s", "cpu_s", "tx/cpu_sec");
 
   constexpr ClockPolicy kPolicies[] = {ClockPolicy::kGv1, ClockPolicy::kGv4,
-                                       ClockPolicy::kGv5};
+                                       ClockPolicy::kGv5, ClockPolicy::kGv6};
+  constexpr int kNumPolicies =
+      static_cast<int>(sizeof(kPolicies) / sizeof(kPolicies[0]));
   for (unsigned t : thread_counts) {
-    // Interleave the three policies within each repeat (see header).
-    CellResult best[3];
+    // Interleave the policies within each repeat (see header).
+    CellResult best[kNumPolicies];
     for (unsigned rep = 0; rep < p.repeats; ++rep) {
-      for (int pi = 0; pi < 3; ++pi) {
+      for (int pi = 0; pi < kNumPolicies; ++pi) {
         CellResult r = run_policy_cell(kPolicies[pi], t, p);
         if (rep == 0 || r.tx_per_sec > best[pi].tx_per_sec) best[pi] = r;
       }
     }
-    for (int pi = 0; pi < 3; ++pi) {
+    for (int pi = 0; pi < kNumPolicies; ++pi) {
       results.push_back(best[pi]);
       print_row(best[pi]);
     }

@@ -30,6 +30,7 @@ REQUIRED_BASELINES = [
     "BENCH_admission.json",
     "BENCH_clock.json",
     "BENCH_escalation.json",
+    "BENCH_granularity.json",
     "BENCH_mvcc.json",
     "BENCH_reclaim.json",
     "BENCH_validation.json",

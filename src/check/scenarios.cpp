@@ -101,6 +101,12 @@ std::string StmRandomScenario::name() const {
     os << "/" << stm::to_string(cfg_.clock_policy);
   }
   if (cfg_.mvcc) os << "+mvcc";
+  if (cfg_.orec_granularity_shift != stm::OrecTable::kDefaultGranularityShift) {
+    os << "+g" << cfg_.orec_granularity_shift;
+  }
+  if (cfg_.orec_layout != stm::OrecLayout::kPadded) {
+    os << "+" << stm::to_string(cfg_.orec_layout);
+  }
   os << "s" << cfg_.workload_seed;
   return os.str();
 }
@@ -109,6 +115,8 @@ Scenario::Outcome StmRandomScenario::run_once(const SchedOptions& opts) {
   stm::EngineConfig engine_cfg;
   engine_cfg.clock_policy = cfg_.clock_policy;
   engine_cfg.mvcc = cfg_.mvcc;
+  engine_cfg.orec_granularity_shift = cfg_.orec_granularity_shift;
+  engine_cfg.orec_layout = cfg_.orec_layout;
   auto engine = stm::make_engine(cfg_.algo, engine_cfg);
   std::vector<stm::Word> mem(cfg_.vars, 0);
   const std::vector<stm::Word> initial = mem;
@@ -191,6 +199,12 @@ std::string StmSnapshotScenario::name() const {
     os << "/" << stm::to_string(cfg_.clock_policy);
   }
   if (cfg_.mvcc) os << "+mvcc";
+  if (cfg_.orec_granularity_shift != stm::OrecTable::kDefaultGranularityShift) {
+    os << "+g" << cfg_.orec_granularity_shift;
+  }
+  if (cfg_.orec_layout != stm::OrecLayout::kPadded) {
+    os << "+" << stm::to_string(cfg_.orec_layout);
+  }
   return os.str();
 }
 
@@ -199,6 +213,8 @@ Scenario::Outcome StmSnapshotScenario::run_once(const SchedOptions& opts) {
   stm::EngineConfig engine_cfg;
   engine_cfg.clock_policy = cfg_.clock_policy;
   engine_cfg.mvcc = cfg_.mvcc;
+  engine_cfg.orec_granularity_shift = cfg_.orec_granularity_shift;
+  engine_cfg.orec_layout = cfg_.orec_layout;
   auto engine = stm::make_engine(cfg_.algo, engine_cfg);
   std::vector<stm::Word> mem(cfg_.vars, 0);
   const std::vector<stm::Word> initial = mem;

@@ -59,6 +59,12 @@ struct StmRandomConfig {
   // to keep the explored state machine independent of the VOTM_MVCC build
   // default. Named in the scenario string when on.
   bool mvcc = false;
+  // Orec-table granularity/layout (orec engines; ignored elsewhere).
+  // Coarse granularity makes distinct variables share stripes, so the
+  // explored conflict graph changes shape — named in the scenario string
+  // when non-default, like the clock policy.
+  unsigned orec_granularity_shift = stm::OrecTable::kDefaultGranularityShift;
+  stm::OrecLayout orec_layout = stm::OrecLayout::kPadded;
   std::uint64_t workload_seed = 42;
   unsigned max_attempts = 256;  // per transaction; livelock guard
 };
@@ -86,6 +92,9 @@ struct StmSnapshotConfig {
   unsigned txs_per_writer = 2;
   stm::ClockPolicy clock_policy = stm::ClockPolicy::kGv1;
   bool mvcc = false;  // see StmRandomConfig::mvcc
+  // See StmRandomConfig — same knobs, same naming convention.
+  unsigned orec_granularity_shift = stm::OrecTable::kDefaultGranularityShift;
+  stm::OrecLayout orec_layout = stm::OrecLayout::kPadded;
   unsigned max_attempts = 256;
 };
 

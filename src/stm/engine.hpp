@@ -117,6 +117,15 @@ struct TxThread {
   }
 };
 
+// Orec::pack_owner tags the owner TxThread* with the orec word's LSB lock
+// bit and owner_of() masks it back off — lossless only while no TxThread
+// can sit at an odd address. Any future packing/alignment change to this
+// struct (or a byte-aligned allocation of it) would silently corrupt the
+// tag, so pin the contract where the complete type exists.
+static_assert(alignof(TxThread) >= 2,
+              "Orec::pack_owner steals the TxThread pointer's LSB as the "
+              "lock tag; TxThread must never be byte-aligned");
+
 // One engine instance per view. All virtual methods are called with the
 // TxThread of the executing thread; `read`/`write` are only called between
 // a successful `begin` and the matching `commit`/rollback.

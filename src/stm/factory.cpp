@@ -1,6 +1,8 @@
 #include "stm/factory.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <stdexcept>
 
 #include "stm/cgl.hpp"
@@ -12,6 +14,63 @@
 
 namespace votm::stm {
 
+namespace {
+
+std::atomic<std::uint64_t> g_orec_size_roundups{0};
+std::atomic<std::uint64_t> g_orec_granularity_clamps{0};
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  if (n <= 1) return 1;
+  // Highest settable bit without overflow: above it, clamp down instead
+  // of wrapping to 0.
+  constexpr std::size_t kTop = std::size_t{1}
+                               << (sizeof(std::size_t) * 8 - 1);
+  if (n > kTop) return kTop;
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+OrecTableConfig sanitized_orec_table_config(const EngineConfig& config) {
+  OrecTableConfig table;
+  table.size = config.orec_table_size;
+  table.granularity_shift = config.orec_granularity_shift;
+  table.layout = config.orec_layout;
+  table.numa = config.orec_numa;
+  if (table.size == 0 || (table.size & (table.size - 1)) != 0) {
+    const std::size_t rounded = round_up_pow2(table.size);
+    g_orec_size_roundups.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "votm: orec_table_size %zu is not a power of two; "
+                 "rounded up to %zu\n",
+                 table.size, rounded);
+    table.size = rounded;
+  }
+  if (table.granularity_shift < OrecTableConfig::kMinGranularityShift ||
+      table.granularity_shift > OrecTableConfig::kMaxGranularityShift) {
+    const unsigned clamped =
+        std::clamp(table.granularity_shift,
+                   OrecTableConfig::kMinGranularityShift,
+                   OrecTableConfig::kMaxGranularityShift);
+    g_orec_granularity_clamps.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "votm: orec_granularity_shift %u out of [3, 12]; "
+                 "clamped to %u\n",
+                 table.granularity_shift, clamped);
+    table.granularity_shift = clamped;
+  }
+  return table;
+}
+
+FactoryStats factory_stats() noexcept {
+  return FactoryStats{
+      g_orec_size_roundups.load(std::memory_order_relaxed),
+      g_orec_granularity_clamps.load(std::memory_order_relaxed),
+  };
+}
+
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
   switch (algo) {
     case Algo::kNOrec:
@@ -19,16 +78,16 @@ std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
                                            config.mvcc);
     case Algo::kOrecEagerRedo:
       return std::make_unique<OrecEagerRedoEngine>(
-          config.orec_table_size, config.clock_policy, config.mvcc,
-          config.mvcc_ring_depth, config.mvcc_horizon_refresh);
+          sanitized_orec_table_config(config), config.clock_policy,
+          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh);
     case Algo::kOrecLazy:
       return std::make_unique<OrecLazyEngine>(
-          config.orec_table_size, config.clock_policy, config.mvcc,
-          config.mvcc_ring_depth, config.mvcc_horizon_refresh);
+          sanitized_orec_table_config(config), config.clock_policy,
+          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh);
     case Algo::kOrecEagerUndo:
       return std::make_unique<OrecEagerUndoEngine>(
-          config.orec_table_size, config.clock_policy, config.mvcc,
-          config.mvcc_ring_depth, config.mvcc_horizon_refresh);
+          sanitized_orec_table_config(config), config.clock_policy,
+          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh);
     case Algo::kTml:
       return std::make_unique<TmlEngine>();
     case Algo::kCgl:

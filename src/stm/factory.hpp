@@ -11,6 +11,8 @@
 #include "stm/clock.hpp"
 #include "stm/engine.hpp"
 #include "stm/mvcc.hpp"
+#include "stm/orec_table.hpp"
+#include "util/numa.hpp"
 
 namespace votm::stm {
 
@@ -24,7 +26,26 @@ enum class Algo : std::uint8_t {
 };
 
 struct EngineConfig {
+  // Sanitized by make_engine rather than validated: a non-power-of-two
+  // request is rounded UP (0 -> 1) with a factory stat + stderr note,
+  // instead of OrecTable's std::invalid_argument escaping from deep
+  // inside view construction. Direct OrecTable/engine construction stays
+  // strict.
   std::size_t orec_table_size = OrecTable::kDefaultSize;
+  // log2 bytes of application memory per orec stripe: 3 = word (default,
+  // historical behavior), 6 = cache line, 7 = two lines. Clamped by the
+  // factory into OrecTableConfig's [3, 12] with a stat. Coarser stripes
+  // shrink read logs and validation scans for spatially local workloads
+  // at the price of false conflicts between stripe-sharing neighbors;
+  // bench/micro_granularity maps the tradeoff.
+  unsigned orec_granularity_shift = OrecTable::kDefaultGranularityShift;
+  // One orec per cache line (padded; no metadata false sharing) or eight
+  // per line (packed; 8x stripes per cache footprint). See OrecLayout.
+  OrecLayout orec_layout = OrecLayout::kPadded;
+  // Placement of the orec-table backing store (util/numa.hpp): none /
+  // interleave / local. Degrades to pre-faulted aligned allocation on
+  // single-node hosts or when VOTM_NUMA is off.
+  NumaMode orec_numa = NumaMode::kNone;
   // NOrec commit-signature broadcast (validation filtering); the orec
   // engines' read-log dedup is a per-TxThread knob, not an engine one.
   // Default follows the VOTM_VALIDATION_FILTERS CMake option.
@@ -56,6 +77,19 @@ struct EngineConfig {
 };
 
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config = {});
+
+// Process-wide counters for the factory's quiet input repairs; tests pin
+// the sanitization behavior through these, and a production operator can
+// tell a misconfigured deployment from a clean one.
+struct FactoryStats {
+  std::uint64_t orec_size_roundups;       // non-pow2 (or 0) sizes rounded up
+  std::uint64_t orec_granularity_clamps;  // out-of-range shifts clamped
+};
+FactoryStats factory_stats() noexcept;
+
+// The sanitized table config make_engine would build — exposed so tests
+// and tools can predict the exact table an EngineConfig yields.
+OrecTableConfig sanitized_orec_table_config(const EngineConfig& config);
 
 // Parses "norec", "oer"/"oreceagerredo", "lazy"/"oreclazy",
 // "undo"/"oreceagerundo", "tml", "cgl" (case-insensitive).

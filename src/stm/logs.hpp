@@ -214,13 +214,18 @@ class OrecReadLog {
  public:
   OrecReadLog() { index_.assign(kInitialIndex, kEmpty); }
 
-  // Orecs are cache-line padded elements of one contiguous table
-  // (orec_table.hpp), so the address divided by the line size is already a
-  // well-distributed small integer — no multiply mixing needed, and
-  // consecutive stripes probe consecutive index slots.
+  // Orecs are elements of one contiguous table (orec_table.hpp) at a
+  // power-of-two stride the table's layout knob picks: 64 B padded, 8 B
+  // packed. Dropping only the always-zero word bits and xor-folding the
+  // next-higher bits down keeps the hash well distributed for EITHER
+  // stride (the old `>> 6` turned packed-layout neighbors into identical
+  // hashes: eight-way probe pile-ups and a degenerate 64-bit signature).
+  // The fold is a bijection, so distinct orecs still never collide before
+  // the index mask is applied.
   static std::size_t orec_hash(const Orec* orec) noexcept {
-    return static_cast<std::size_t>(reinterpret_cast<std::uintptr_t>(orec) >>
-                                    6);
+    auto x = reinterpret_cast<std::uintptr_t>(orec) >> 3;
+    x ^= x >> 3;
+    return static_cast<std::size_t>(x);
   }
 
   bool empty() const noexcept { return entries_.empty(); }

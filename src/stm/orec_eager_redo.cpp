@@ -18,7 +18,7 @@ void OrecEagerRedoEngine::begin(TxThread& tx) {
     tx.start_time = clock_.completed_commit_bound();
     tx.mvcc_snapshot_reads = 0;
   } else {
-    tx.start_time = clock_.read();
+    tx.start_time = clock_.begin_snapshot();
   }
   begin_common(tx, this);
 }

@@ -20,16 +20,20 @@ namespace votm::stm {
 
 class OrecEagerRedoEngine final : public TxEngine {
  public:
+  // `orec_table` keeps accepting a bare size (OrecTableConfig converts
+  // implicitly) so pre-granularity call sites read unchanged; the rings
+  // are sized from the constructed table so the stripe spaces coincide at
+  // every granularity/layout setting.
   explicit OrecEagerRedoEngine(
-      std::size_t orec_table_size = OrecTable::kDefaultSize,
+      OrecTableConfig orec_table = {},
       ClockPolicy clock_policy = ClockPolicy::kGv1, bool mvcc = false,
       std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
       std::uint32_t mvcc_horizon_refresh =
           OrecVersionRings::kHorizonRefreshPushes)
       : clock_(clock_policy),
-        orecs_(orec_table_size),
+        orecs_(orec_table),
         mvcc_(mvcc),
-        rings_(mvcc ? std::make_unique<OrecVersionRings>(orec_table_size,
+        rings_(mvcc ? std::make_unique<OrecVersionRings>(orecs_.size(),
                                                          mvcc_ring_depth)
                     : nullptr),
         horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)) {}

@@ -24,16 +24,17 @@ namespace votm::stm {
 
 class OrecLazyEngine final : public TxEngine {
  public:
+  // See OrecEagerRedoEngine for the OrecTableConfig compatibility note.
   explicit OrecLazyEngine(
-      std::size_t orec_table_size = OrecTable::kDefaultSize,
+      OrecTableConfig orec_table = {},
       ClockPolicy clock_policy = ClockPolicy::kGv1, bool mvcc = false,
       std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
       std::uint32_t mvcc_horizon_refresh =
           OrecVersionRings::kHorizonRefreshPushes)
       : clock_(clock_policy),
-        orecs_(orec_table_size),
+        orecs_(orec_table),
         mvcc_(mvcc),
-        rings_(mvcc ? std::make_unique<OrecVersionRings>(orec_table_size,
+        rings_(mvcc ? std::make_unique<OrecVersionRings>(orecs_.size(),
                                                          mvcc_ring_depth)
                     : nullptr),
         horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)) {}
@@ -49,6 +50,7 @@ class OrecLazyEngine final : public TxEngine {
   // Memory-order contract lives at VersionClock::read().
   std::uint64_t clock() const noexcept { return clock_.read(); }
   const VersionClock& version_clock() const noexcept { return clock_; }
+  OrecTable& orec_table() noexcept { return orecs_; }
   bool mvcc() const noexcept { return mvcc_; }
   OrecVersionRings* version_rings() noexcept { return rings_.get(); }
 

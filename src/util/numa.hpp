@@ -1,0 +1,208 @@
+// NUMA-aware raw-buffer placement for per-view metadata tables.
+//
+// The orec table is the hottest shared metadata a view owns: every
+// transactional read/write CASes or loads one of its lines. On a multi-
+// socket host, where that table's pages land decides whether the common
+// case is a local-node hit or a cross-socket round trip. Three placements:
+//
+//   kNone        - plain aligned allocation, pages placed by the default
+//                  first-touch policy of whoever faults them (here: the
+//                  constructing thread). The portable baseline.
+//   kInterleave  - pages round-robined across all online nodes
+//                  (MPOL_INTERLEAVE). Right for tables shared evenly by
+//                  threads on every node: no node hosts all the misses.
+//   kLocal       - pages bound to the constructing thread's node by
+//                  first-touch (a pre-fault sweep from the caller). Right
+//                  when a view's threads are pinned to one node — the
+//                  paper's "independent TM per view" taken to its NUMA
+//                  conclusion: place each view's metadata with its tenant.
+//
+// No libnuma dependency: the interleave path issues the raw mbind(2)
+// syscall with locally defined constants, gated by the VOTM_NUMA CMake
+// option (default ON, Linux only). Everywhere else — VOTM_NUMA=OFF,
+// non-Linux, mbind refused by seccomp, or a single-node host — every mode
+// degrades to aligned allocation plus the pre-fault sweep, which is still
+// worth having: the table's pages are resident before the first
+// transaction, so cold-start page faults never land inside a timed
+// critical section. Callers can ask numa_node_count() whether placement
+// can matter at all; the single-node answer (1) makes every mode
+// equivalent by construction, and the benches record it so a reader of
+// BENCH_granularity.json on this host knows the NUMA axis was inert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace votm {
+
+enum class NumaMode : std::uint8_t {
+  kNone,        // first-touch by the constructing thread, no policy call
+  kInterleave,  // MPOL_INTERLEAVE across all online nodes
+  kLocal,       // node-local by an explicit first-touch sweep
+};
+
+inline const char* to_string(NumaMode m) noexcept {
+  switch (m) {
+    case NumaMode::kNone: return "none";
+    case NumaMode::kInterleave: return "interleave";
+    case NumaMode::kLocal: return "local";
+  }
+  return "?";
+}
+
+inline bool numa_mode_from_string(const char* s, NumaMode* out) noexcept {
+  auto eq = [](const char* a, const char* b) noexcept {
+    for (; *a && *b; ++a, ++b) {
+      const char ca = (*a >= 'A' && *a <= 'Z') ? char(*a - 'A' + 'a') : *a;
+      if (ca != *b) return false;
+    }
+    return *a == '\0' && *b == '\0';
+  };
+  if (eq(s, "none")) { *out = NumaMode::kNone; return true; }
+  if (eq(s, "interleave")) { *out = NumaMode::kInterleave; return true; }
+  if (eq(s, "local")) { *out = NumaMode::kLocal; return true; }
+  return false;
+}
+
+// Online NUMA nodes, from sysfs (node0, node1, ...). 1 on any host where
+// placement cannot matter; also the non-Linux answer.
+inline int numa_node_count() noexcept {
+#if defined(__linux__)
+  DIR* dir = ::opendir("/sys/devices/system/node");
+  if (dir == nullptr) return 1;
+  int nodes = 0;
+  while (dirent* e = ::readdir(dir)) {
+    if (std::strncmp(e->d_name, "node", 4) == 0 &&
+        e->d_name[4] >= '0' && e->d_name[4] <= '9') {
+      ++nodes;
+    }
+  }
+  ::closedir(dir);
+  return nodes > 0 ? nodes : 1;
+#else
+  return 1;
+#endif
+}
+
+// Owning handle for one placed allocation. Movable, not copyable; the
+// deleter must match the allocator (munmap vs free), so the flag rides
+// along rather than being re-derived.
+class NumaBuffer {
+ public:
+  NumaBuffer() = default;
+  NumaBuffer(void* ptr, std::size_t bytes, bool mapped,
+             bool policy_applied) noexcept
+      : ptr_(ptr), bytes_(bytes), mapped_(mapped),
+        policy_applied_(policy_applied) {}
+
+  NumaBuffer(NumaBuffer&& other) noexcept { *this = static_cast<NumaBuffer&&>(other); }
+  NumaBuffer& operator=(NumaBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      ptr_ = other.ptr_;
+      bytes_ = other.bytes_;
+      mapped_ = other.mapped_;
+      policy_applied_ = other.policy_applied_;
+      other.ptr_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  NumaBuffer(const NumaBuffer&) = delete;
+  NumaBuffer& operator=(const NumaBuffer&) = delete;
+  ~NumaBuffer() { release(); }
+
+  void* get() const noexcept { return ptr_; }
+  std::size_t bytes() const noexcept { return bytes_; }
+  // True when an actual kernel placement policy (mbind) was applied — the
+  // honest signal for stats/benches; the fallback paths report false.
+  bool policy_applied() const noexcept { return policy_applied_; }
+
+ private:
+  void release() noexcept {
+    if (ptr_ == nullptr) return;
+#if defined(__linux__)
+    if (mapped_) {
+      ::munmap(ptr_, bytes_);
+      ptr_ = nullptr;
+      return;
+    }
+#endif
+    std::free(ptr_);
+    ptr_ = nullptr;
+  }
+
+  void* ptr_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool mapped_ = false;
+  bool policy_applied_ = false;
+};
+
+namespace detail {
+
+// Touch one byte per page so every page is faulted in NOW, by THIS thread.
+// For kLocal this IS the placement mechanism (first-touch); for the other
+// modes it moves cold-start faults out of the transactional fast path.
+inline void prefault(void* p, std::size_t bytes) noexcept {
+  constexpr std::size_t kPage = 4096;
+  auto* b = static_cast<volatile unsigned char*>(p);
+  for (std::size_t off = 0; off < bytes; off += kPage) b[off] = 0;
+}
+
+}  // namespace detail
+
+// Allocates `bytes` (cache-line aligned, zeroed) under the given placement
+// mode. Never fails into a weaker guarantee silently: the buffer is always
+// usable; only the placement policy is best-effort (policy_applied()).
+inline NumaBuffer numa_allocate(std::size_t bytes, NumaMode mode) {
+  if (bytes == 0) bytes = 64;
+  // Round to the allocator granule so aligned_alloc's size contract holds.
+  bytes = (bytes + 63) & ~std::size_t{63};
+#if defined(__linux__) && defined(VOTM_NUMA) && VOTM_NUMA
+  if (mode != NumaMode::kNone) {
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      bool applied = false;
+      if (mode == NumaMode::kInterleave) {
+        const int nodes = numa_node_count();
+        if (nodes > 1) {
+          // Raw mbind(2): no libnuma at build or run time. Constants from
+          // <linux/mempolicy.h>, defined locally to keep this header
+          // self-contained.
+          constexpr int kMpolInterleave = 3;
+          unsigned long nodemask = (nodes >= 64)
+                                       ? ~0UL
+                                       : ((1UL << nodes) - 1UL);
+          applied = ::syscall(SYS_mbind, p, bytes, kMpolInterleave,
+                              &nodemask, static_cast<unsigned long>(nodes + 1),
+                              0UL) == 0;
+        }
+        // Single-node host or refused syscall: interleave == first-touch.
+      }
+      // kLocal places by first-touch; interleave still wants the pages
+      // resident before the first transaction.
+      detail::prefault(p, bytes);
+      return NumaBuffer(p, bytes, /*mapped=*/true, applied);
+    }
+    // mmap refused (rlimit, sandbox): fall through to the portable path.
+  }
+#endif
+  void* p = std::aligned_alloc(64, bytes);
+  if (p == nullptr) throw std::bad_alloc();
+  std::memset(p, 0, bytes);
+  detail::prefault(p, bytes);
+  return NumaBuffer(p, bytes, /*mapped=*/false, /*policy_applied=*/false);
+}
+
+}  // namespace votm
