@@ -33,6 +33,7 @@ REQUIRED_BASELINES = [
     "BENCH_granularity.json",
     "BENCH_mvcc.json",
     "BENCH_reclaim.json",
+    "BENCH_robustness.json",
     "BENCH_validation.json",
 ]
 

@@ -72,6 +72,16 @@ enum class FaultSite : unsigned {
   kAdmLostNotify,             // leave_wake drops its condvar notify
   // --- escalation ladder (mutation: breaks serial mutual exclusion) --------
   kSerialTokenDrop,           // serial token lost after the drain completes
+  // --- wait-based contention management (availability, DESIGN.md §19) ------
+  kCmWaitLostWakeup,          // a parked loser never observes the winner's
+                              // unlock: the wait must exit via its timeout
+                              // bound, never hang on the stale observation
+  kCmWaitTimeout,             // the wait times out immediately: exercises
+                              // the abort+backoff fallback (today's path)
+  // --- limbo backpressure (availability: forced overload response) ---------
+  kLimboWatermark,            // the hard-watermark check reads "over": a
+                              // forced reclaim pass + quota shed run even
+                              // though the real depth is below the mark
   kCount,
 };
 
@@ -92,6 +102,9 @@ inline const char* to_string(FaultSite s) noexcept {
     case FaultSite::kAdmitCasFail: return "adm.cas-fail";
     case FaultSite::kAdmLostNotify: return "adm.lost-notify";
     case FaultSite::kSerialTokenDrop: return "adm.serial-token-drop";
+    case FaultSite::kCmWaitLostWakeup: return "cm.wait-lost-wakeup";
+    case FaultSite::kCmWaitTimeout: return "cm.wait-timeout";
+    case FaultSite::kLimboWatermark: return "limbo.watermark";
     case FaultSite::kCount: break;
   }
   return "?";

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -107,6 +108,7 @@ std::string StmRandomScenario::name() const {
   if (cfg_.orec_layout != stm::OrecLayout::kPadded) {
     os << "+" << stm::to_string(cfg_.orec_layout);
   }
+  if (cfg_.contention_mode != stm::ContentionMode::kAbortRetry) os << "+wait";
   os << "s" << cfg_.workload_seed;
   return os.str();
 }
@@ -117,6 +119,7 @@ Scenario::Outcome StmRandomScenario::run_once(const SchedOptions& opts) {
   engine_cfg.mvcc = cfg_.mvcc;
   engine_cfg.orec_granularity_shift = cfg_.orec_granularity_shift;
   engine_cfg.orec_layout = cfg_.orec_layout;
+  engine_cfg.contention_mode = cfg_.contention_mode;
   auto engine = stm::make_engine(cfg_.algo, engine_cfg);
   std::vector<stm::Word> mem(cfg_.vars, 0);
   const std::vector<stm::Word> initial = mem;
@@ -777,6 +780,185 @@ Scenario::Outcome EscalationScenario::run_once(const SchedOptions& opts) {
   const std::uint64_t commits = 1 + 1 + peer_commits.load();
   const std::uint64_t attempts =
       1 + victim_attempts.load() + peer_attempts.load();
+  if (st.commits != commits || st.commits + st.aborts != attempts) {
+    std::ostringstream os;
+    os << "stats conservation: observed " << commits << " commits / "
+       << attempts << " attempts, view counted " << st.commits
+       << " commits + " << st.aborts << " aborts";
+    sink.note(os.str());
+  }
+  if (view.admission().admitted() != 0) {
+    sink.note("admission ledger nonzero after quiescence");
+  }
+  if (view.admission().serial_holder() != -1) {
+    sink.note("serial token still held after quiescence");
+  }
+  return Outcome{std::move(res), sink.take()};
+}
+
+// ---------------------------------------------------------------------------
+// DeadlineScenario
+// ---------------------------------------------------------------------------
+
+std::string DeadlineScenario::name() const {
+  std::ostringstream os;
+  os << "deadline/" << stm::to_string(cfg_.algo) << "/t" << cfg_.threads
+     << "s" << cfg_.serial_after << "r" << cfg_.rounds << "p"
+     << cfg_.peer_rounds;
+  return os.str();
+}
+
+Scenario::Outcome DeadlineScenario::run_once(const SchedOptions& opts) {
+  core::ViewConfig vc;
+  vc.algo = cfg_.algo;
+  vc.max_threads = cfg_.max_threads;
+  vc.rac = core::RacMode::kFixed;
+  vc.fixed_quota = cfg_.max_threads;  // peers stay admitted; the deadline
+                                      // and serial paths do the gating
+  vc.initial_bytes = 1 << 16;
+  vc.backoff = BackoffPolicy::kNone;
+  vc.escalation.enabled = true;
+  vc.escalation.aging_after = 1;
+  vc.escalation.serial_after = cfg_.serial_after;
+  core::View view(vc);
+  auto* victim_cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  auto* peer_cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  view.execute([&] {
+    core::vwrite<stm::Word>(victim_cell, 0);
+    core::vwrite<stm::Word>(peer_cell, 0);
+  });
+
+  ViolationSink sink;
+  std::atomic<std::uint64_t> expired_bodies{0};  // must stay 0
+  std::atomic<std::uint64_t> serial_attempts{0};
+  std::atomic<std::uint64_t> serial_commits{0};
+  std::atomic<std::uint64_t> peer_attempts{0};
+  std::atomic<std::uint64_t> peer_commits{0};
+  std::atomic<std::uint64_t> deadline_throws{0};
+
+  // Serial mutual exclusion is checked as token VISIBILITY (no body runs
+  // while another thread holds the token), exactly like EscalationScenario.
+  // An admitted() count would not be schedule-invariant here: a peer parked
+  // inside admit() may have optimistically bumped a slot-mode stripe that
+  // the ledger counts until the park rolls it back, so the victim's serial
+  // body can legally observe admitted() > 1 without any peer body running.
+  auto check_token = [&](const char* who) {
+    const int holder = view.admission().serial_holder();
+    if (holder >= 0 && holder != static_cast<int>(thread_ordinal())) {
+      std::ostringstream os;
+      os << who << " body ran while another thread held the serial token";
+      sink.note(os.str());
+    }
+  };
+
+  CoopScheduler sched(cfg_.threads, opts);
+  SchedResult res = sched.run([&](unsigned t) {
+    if (t == 0) {
+      stm::TxThread& tx = core::thread_ctx().tx;
+      // The expired-entry body: running it at all is the violation.
+      auto expired_body = [&] {
+        expired_bodies.fetch_add(1, std::memory_order_relaxed);
+        core::vadd<stm::Word>(victim_cell, 1);
+      };
+      auto expect_throw = [&](const char* what) {
+        bool threw = false;
+        try {
+          view.run_until(Deadline::after(std::chrono::nanoseconds{0}),
+                         expired_body);
+        } catch (const stm::DeadlineExceeded&) {
+          threw = true;
+          deadline_throws.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!threw) {
+          std::ostringstream os;
+          os << what << " did not throw DeadlineExceeded";
+          sink.note(os.str());
+        }
+      };
+      for (unsigned r = 0; r < cfg_.rounds; ++r) {
+        // Case 1: a deadline already in the past at entry.
+        expect_throw("expired-entry run");
+        if (view.admission().serial_holder() != -1) {
+          sink.note("expired-entry run touched the serial token");
+        }
+        // Case 2: a pre-seeded streak takes the serial rung.
+        tx.consecutive_aborts = cfg_.serial_after;
+        view.execute([&] {
+          serial_attempts.fetch_add(1, std::memory_order_relaxed);
+          if (!core::thread_ctx().tx.serial) {
+            sink.note("pre-seeded streak did not take the serial rung");
+          }
+          if (view.admission().serial_holder() !=
+              static_cast<int>(thread_ordinal())) {
+            sink.note("serial body ran without holding the token");
+          }
+          core::vadd<stm::Word>(victim_cell, 1);
+        });
+        serial_commits.fetch_add(1, std::memory_order_relaxed);
+        if (view.admission().serial_holder() != -1) {
+          sink.note("serial token not returned after the escalated commit");
+        }
+        // Case 3: streak pre-seeded AND the deadline expired — the deadline
+        // check outranks escalation, so the token is never acquired and the
+        // streak is reset (the budget failure must not leak an escalation
+        // into this thread's next, unrelated run).
+        tx.consecutive_aborts = cfg_.serial_after;
+        expect_throw("deadline-blocked escalation");
+        if (view.admission().serial_holder() != -1) {
+          sink.note("deadline-blocked escalation acquired the serial token");
+        }
+        if (tx.consecutive_aborts != 0) {
+          sink.note("DeadlineExceeded left the abort streak armed");
+        }
+      }
+      return;
+    }
+    for (unsigned r = 0; r < cfg_.peer_rounds; ++r) {
+      view.execute([&] {
+        peer_attempts.fetch_add(1, std::memory_order_relaxed);
+        check_token("peer");
+        core::vadd<stm::Word>(peer_cell, 1);
+      });
+      peer_commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (const std::string& e : res.thread_errors) {
+    sink.note("worker exception: " + e);
+  }
+  if (expired_bodies.load() != 0) {
+    std::ostringstream os;
+    os << "a past-deadline body ran " << expired_bodies.load()
+       << " time(s) — the entry check must fire before the body";
+    sink.note(os.str());
+  }
+  const std::uint64_t expected_throws = 2ull * cfg_.rounds;
+  if (deadline_throws.load() != expected_throws) {
+    std::ostringstream os;
+    os << "expected " << expected_throws << " DeadlineExceeded, saw "
+       << deadline_throws.load();
+    sink.note(os.str());
+  }
+  const stm::Word victim_final = core::vread(victim_cell);
+  if (victim_final != serial_commits.load()) {
+    std::ostringstream os;
+    os << "victim cell holds " << victim_final << " after "
+       << serial_commits.load() << " committed increments";
+    sink.note(os.str());
+  }
+  const stm::Word peer_final = core::vread(peer_cell);
+  if (peer_final != peer_commits.load()) {
+    std::ostringstream os;
+    os << "peer cell holds " << peer_final << " but " << peer_commits.load()
+       << " peer transactions committed";
+    sink.note(os.str());
+  }
+  // Conservation: expired entries contribute neither commits nor aborts —
+  // their bodies never ran and nothing was admitted or begun.
+  const stm::StatsSnapshot st = view.stats();
+  const std::uint64_t commits = 1 + serial_commits.load() + peer_commits.load();
+  const std::uint64_t attempts =
+      1 + serial_attempts.load() + peer_attempts.load();
   if (st.commits != commits || st.commits + st.aborts != attempts) {
     std::ostringstream os;
     os << "stats conservation: observed " << commits << " commits / "

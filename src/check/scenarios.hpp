@@ -65,6 +65,14 @@ struct StmRandomConfig {
   // when non-default, like the clock policy.
   unsigned orec_granularity_shift = stm::OrecTable::kDefaultGranularityShift;
   stm::OrecLayout orec_layout = stm::OrecLayout::kPadded;
+  // Wait-based contention management (stm/contention.hpp). Under the
+  // cooperative harness the wait is kCmWaitCoopBound yield points, so the
+  // explored state machine gains park/re-check interleavings while staying
+  // finite. Named "+wait" in the scenario string. The max_attempts loop
+  // doubles as the starvation-freedom oracle: a wait-CM deadlock or
+  // unbounded park would exhaust it and surface as a livelock-guard
+  // failure instead of hanging the exploration.
+  stm::ContentionMode contention_mode = stm::ContentionMode::kAbortRetry;
   std::uint64_t workload_seed = 42;
   unsigned max_attempts = 256;  // per transaction; livelock guard
 };
@@ -265,6 +273,45 @@ class EscalationScenario final : public Scenario {
  private:
   EscalationScenarioConfig cfg_;
   std::uint64_t commit_tail_triggers_ = 0;
+};
+
+// Bounded-time transactions under schedule exploration (DESIGN.md §19).
+// Thread 0 walks a fixed program of three deadline cases per round while
+// peers run ordinary increments:
+//   * expired entry — run_until with a deadline already in the past must
+//     throw DeadlineExceeded without running the body, admitting, or
+//     touching the serial token;
+//   * escalation to serial — a pre-seeded abort streak >= serial_after
+//     (with no deadline) must take the serial rung: the body observes
+//     tx.serial and itself as the token holder, and no peer body runs
+//     while any other thread holds the token (token visibility, like
+//     EscalationScenario);
+//   * expired entry WITH the streak pre-seeded — the deadline check
+//     outranks escalation: DeadlineExceeded again, the serial token is
+//     never acquired, and the streak is reset so the budget failure does
+//     not leak an escalation into the thread's next run.
+// End-of-run oracles: both counters exact, stats conservation (expired
+// entries contribute neither commits nor aborts — the body never ran),
+// admission ledger drained, serial token free. The deadline-expires-
+// DURING-the-serial-drain release path is wall-clock timing and is pinned
+// by the real-thread test in tests/test_deadline.cpp instead.
+struct DeadlineScenarioConfig {
+  stm::Algo algo = stm::Algo::kNOrec;
+  unsigned threads = 2;      // thread 0 runs the deadline program
+  unsigned max_threads = 2;  // fixed quota: peers stay admitted
+  std::uint64_t serial_after = 2;
+  unsigned rounds = 2;       // program repetitions by thread 0
+  unsigned peer_rounds = 3;  // plain increments per peer
+};
+
+class DeadlineScenario final : public Scenario {
+ public:
+  explicit DeadlineScenario(DeadlineScenarioConfig cfg) : cfg_(cfg) {}
+  std::string name() const override;
+  Outcome run_once(const SchedOptions& opts) override;
+
+ private:
+  DeadlineScenarioConfig cfg_;
 };
 
 }  // namespace votm::check

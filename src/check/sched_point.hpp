@@ -71,6 +71,8 @@ enum class SchedPointId : std::uint8_t {
   kEpochPinWait,        // spinning on a peer's pending epoch pin (yield)
   kStmWaitSeq,          // spinning on an odd sequence lock (yield)
   kStmWaitOrec,         // spinning on a foreign orec lock (yield)
+  kCmWait,              // wait-CM: parked on a winner's orec, bounded by
+                        // the timeout/ordinal rule (yield; DESIGN.md §19)
   kCglLock,             // waiting for the CGL/lock-mode mutex (yield)
   // --- admission controller ----------------------------------------------
   kAdmCas,              // before a gated admission CAS attempt
@@ -113,6 +115,7 @@ inline const char* to_string(SchedPointId id) noexcept {
     case SchedPointId::kEpochPinWait: return "epoch.pin-wait";
     case SchedPointId::kStmWaitSeq: return "stm.wait-seq";
     case SchedPointId::kStmWaitOrec: return "stm.wait-orec";
+    case SchedPointId::kCmWait: return "cm.wait";
     case SchedPointId::kCglLock: return "cgl.lock";
     case SchedPointId::kAdmCas: return "adm.cas";
     case SchedPointId::kAdmSlotEnter: return "adm.slot-enter";

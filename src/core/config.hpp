@@ -92,6 +92,27 @@ struct ViewConfig {
   // arena only under allocation pressure or via View::reclaim_garbage().
   std::size_t reclaim_threshold = 64;
 
+  // Bounded-time transactions (DESIGN.md §19). Every transaction entered
+  // on this view gets this much steady-clock budget, held across conflict
+  // retries of the same run; once it passes, the run surfaces the defined
+  // stm::DeadlineExceeded outcome within one bounded validation/backoff
+  // step instead of retrying forever. 0 disables; negative values are
+  // sanitized to 0 at view construction (stm/factory.cpp, with a stderr
+  // note + FactoryStats counter). Per-run overrides: View::run_for /
+  // run_until.
+  std::int64_t tx_deadline_ns = 0;
+
+  // Limbo backpressure (graceful overload, DESIGN.md §19). When the limbo
+  // list's depth crosses the SOFT watermark, every transaction exit runs a
+  // forced reclaim pass (not just the amortized try-lock pass of
+  // reclaim_threshold). Past the HARD watermark — production is outrunning
+  // reclamation even when forced — the view also sheds admission quota
+  // (halving toward 1) so the system degrades to slower-but-bounded
+  // instead of exhausting the arena. 0 disables either mark; a hard mark
+  // below the soft mark is raised to it at view construction.
+  std::size_t limbo_soft_watermark = 0;
+  std::size_t limbo_hard_watermark = 0;
+
   // Progress guarantee for starving transactions. Requires admission
   // control (rac != kDisabled) for the serial rung — without a controller
   // there is nothing to drain, so only the aging rung applies.

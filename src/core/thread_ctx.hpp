@@ -32,6 +32,12 @@ struct ThreadCtx {
   View* pending_view = nullptr;
   bool pending_read_only = false;
 
+  // Per-run deadline override (View::run_for / run_until): consumed by the
+  // next fresh View entry in place of ViewConfig::tx_deadline_ns. The flag
+  // makes "override to none" representable.
+  Deadline pending_deadline = Deadline::none();
+  bool has_pending_deadline = false;
+
   // Transactional memory management: blocks allocated by the current
   // transaction (undone on abort) and blocks whose free is deferred until
   // the transaction commits, so an abort cannot leak or double-free.

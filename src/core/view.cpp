@@ -1,9 +1,11 @@
 #include "core/view.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <new>
 #include <stdexcept>
 
+#include "check/fault.hpp"
 #include "check/sched_point.hpp"
 
 namespace votm::core {
@@ -38,6 +40,12 @@ View::View(ViewConfig config)
   // O(stripes) event-count fold over a stride of local events.
   adapt_check_stride_ = config_.adapt_interval >= 512 ? 16 : 1;
   next_adapt_at_.value.store(config_.adapt_interval, std::memory_order_relaxed);
+  // Robustness knobs share the factory's clamp-and-count treatment
+  // (stm/factory.cpp): a negative deadline means "disabled", a hard
+  // watermark below the soft one is raised to it.
+  config_.tx_deadline_ns = stm::sanitized_tx_deadline_ns(config_.tx_deadline_ns);
+  config_.limbo_hard_watermark = stm::sanitized_limbo_hard_watermark(
+      config_.limbo_soft_watermark, config_.limbo_hard_watermark);
 }
 
 void* View::alloc(std::size_t size) {
@@ -87,6 +95,10 @@ void View::enter(ThreadCtx& tc, bool read_only) {
             : "acquire_view: this thread already runs a transaction on "
               "another view");
   }
+  // Fresh entry vs conflict retry: handle_abort leaves active_view set so
+  // the retry re-enters here with it still == this. The distinction arms
+  // the deadline exactly once per run and holds it across retries.
+  const bool fresh = tc.active_view != this;
   tc.active_view = this;
   tx.read_only = read_only;
   tx.stats = &totals_;
@@ -95,6 +107,35 @@ void View::enter(ThreadCtx& tc, bool read_only) {
   tx.rollback_arg = this;
   tx.checkpoint = &tc.checkpoint;
   tx.backoff.set_policy(config_.backoff);
+
+  // Bounded-time transactions (DESIGN.md §19). Fresh entry arms the
+  // deadline: a pending run_for/run_until override wins, else the view's
+  // configured budget, else none. Retry entries keep the armed deadline —
+  // the budget covers the whole run, not each attempt.
+  if (fresh) {
+    if (tc.has_pending_deadline) {
+      tx.deadline = tc.pending_deadline;
+      tc.has_pending_deadline = false;
+    } else if (config_.tx_deadline_ns > 0) {
+      tx.deadline =
+          Deadline::after(std::chrono::nanoseconds(config_.tx_deadline_ns));
+    } else {
+      tx.deadline = Deadline::none();
+    }
+  }
+  if (tx.deadline.expired()) {
+    // Past-deadline entry — a run_until already in the past, or a retry
+    // whose budget ran out during backoff. Nothing is held yet (no
+    // admission, no epoch pin, no engine state), so surface the defined
+    // outcome directly. This is also the only deadline check lock mode
+    // (CGL) gets: an admitted lock-mode execution is a plain critical
+    // section and always runs to completion.
+    tc.active_view = nullptr;
+    tx.consecutive_aborts = 0;
+    tx.backoff.reset();
+    tx.deadline = Deadline::none();
+    throw stm::DeadlineExceeded{};
+  }
 
   stm::TxEngine* engine = nullptr;
   if (config_.rac != RacMode::kDisabled) {
@@ -106,6 +147,19 @@ void View::enter(ThreadCtx& tc, bool read_only) {
     if (config_.escalation.enabled &&
         tx.consecutive_aborts >= config_.escalation.serial_after) {
       admission_.acquire_serial();
+      if (tx.deadline.expired()) {
+        // The serial drain may have consumed the rest of the budget, and a
+        // serial transaction is irrevocable once begun — this handoff is
+        // the last point where it can still be cancelled. The token MUST
+        // go back before the throw: holding it would leave the gate closed
+        // for every peer forever (the wedge this branch exists to prevent).
+        admission_.release_serial();
+        tc.active_view = nullptr;
+        tx.consecutive_aborts = 0;
+        tx.backoff.reset();
+        tx.deadline = Deadline::none();
+        throw stm::DeadlineExceeded{};
+      }
       // Sampled after the serial drain; same ordering argument as below.
       engine = engine_.get();
       if (engine->speculative()) {
@@ -173,6 +227,7 @@ void View::exit(ThreadCtx& tc) {
   tx.engine = nullptr;
   tx.consecutive_aborts = 0;
   tx.backoff.reset();
+  tx.deadline = Deadline::none();  // the run is over; budgets never leak
 
   tc.tx_allocs.clear();
   apply_deferred_frees(tc, engine);
@@ -251,6 +306,10 @@ void View::aging_pause(stm::TxThread& tx, std::uint64_t streak) {
   if (!esc.enabled || streak < esc.aging_after || streak >= esc.serial_after) {
     return;
   }
+  // Past-deadline transactions must not sleep an aging pause: the next
+  // entry will surface DeadlineExceeded, and the pause would stretch the
+  // "one bounded backoff step" contract by the full aged weight.
+  if (tx.deadline.expired()) return;
   // Under the cooperative harness a spin pause is pure schedule noise and
   // would blow the bounded-exploration step budget; the ladder's timing
   // rung is exercised by the real-thread tests instead.
@@ -289,6 +348,7 @@ void View::abort_for_exception(ThreadCtx& tc) {
   tx.consecutive_aborts = 0;
   tx.backoff.reset();
   tx.serial = false;
+  tx.deadline = Deadline::none();
   undo_tx_allocs(tc);
   tc.tx_frees.clear();
   // Only a transaction this view entered can hold a pin in this view's
@@ -364,8 +424,38 @@ std::size_t View::reclaim_pass(bool force) {
 }
 
 void View::maybe_reclaim() {
+  const std::size_t depth = limbo_.depth();
+  const std::size_t soft = config_.limbo_soft_watermark;
+  const std::size_t hard = config_.limbo_hard_watermark;
+  // Fault site: drives the hard-watermark branch without a real pile-up,
+  // so the shed path is unit-testable in milliseconds.
+  const bool fault_hard = VOTM_FAULT(kLimboWatermark);
+  const bool over_hard = fault_hard || (hard != 0 && depth >= hard);
+  if (over_hard || (soft != 0 && depth >= soft)) {
+    // Soft watermark: production is outpacing the amortized passes — stop
+    // asking politely (try-lock) and force a full pass now.
+    limbo_soft_passes_.fetch_add(1, std::memory_order_relaxed);
+    reclaim_pass(/*force=*/true);
+    if (over_hard && config_.rac != RacMode::kDisabled &&
+        (fault_hard || limbo_.depth() >= hard)) {
+      // Hard watermark, still over after a forced pass: reclamation can
+      // not keep up at this admission level, so shed quota (halve toward
+      // 1 — RAC's own lever) and degrade to slower-but-bounded instead of
+      // exhausting the arena. One shedder at a time; lowering the quota
+      // never drain-waits, so this cannot stall the exit path.
+      if (!shedding_.exchange(true, std::memory_order_acquire)) {
+        const unsigned q = admission_.quota();
+        if (q > 1) {
+          admission_.set_quota(q - q / 2);
+          limbo_quota_sheds_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shedding_.store(false, std::memory_order_release);
+      }
+    }
+    return;
+  }
   if (config_.reclaim_threshold == 0) return;
-  if (limbo_.depth() < config_.reclaim_threshold) return;
+  if (depth < config_.reclaim_threshold) return;
   reclaim_pass(/*force=*/false);
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -77,6 +78,27 @@ class View {
     run(static_cast<Body&&>(body), /*read_only=*/true);
   }
 
+  // ---- bounded-time runs (DESIGN.md §19) ----------------------------------
+  // Like execute(), but the whole run — body plus every conflict retry —
+  // must finish within `budget` (run_for) or by `deadline` (run_until);
+  // past that point the run throws stm::DeadlineExceeded instead of
+  // retrying, within one bounded validation/backoff step. Overrides
+  // ViewConfig::tx_deadline_ns for this run only (Deadline::none()
+  // disables it). A run that escalated to the serial token is irrevocable
+  // once begun — the deadline is enforced at the token handoff, where the
+  // token is released before the throw, never while holding it.
+  template <typename Body>
+  void run_for(std::chrono::nanoseconds budget, Body&& body) {
+    run_until(Deadline::after(budget), static_cast<Body&&>(body));
+  }
+  template <typename Body>
+  void run_until(Deadline deadline, Body&& body, bool read_only = false) {
+    ThreadCtx& tc = thread_ctx();
+    tc.pending_deadline = deadline;
+    tc.has_pending_deadline = true;
+    run(static_cast<Body&&>(body), read_only);
+  }
+
   // execute_read that returns the body's value. The read-only hint reaches
   // the engines (tx.read_only), so the transaction takes the RO commit
   // fast path — zero version-clock traffic and no write-set reset — and,
@@ -134,18 +156,34 @@ class View {
   }
 
   // One watchdog poll of this view's health counters. Cheap enough to call
-  // on a 50ms period (one stats fold + three atomic loads); wire into a
-  // LivelockWatchdog as `[&] { return view.health(); }`.
+  // on a 50ms period (one stats fold + one admission sample + a few atomic
+  // loads); wire into a LivelockWatchdog as `[&] { return view.health(); }`.
+  // The (quota, admitted, serial_holder) triple comes from ONE admission
+  // snapshot (AdmissionController::sample), so it is a state that actually
+  // existed — three separate getter calls could interleave a set_quota or
+  // serial drain and report a pair that never coexisted.
   WatchdogSample health() const noexcept {
     const stm::StatsSnapshot s = totals_.fold();
+    const rac::AdmissionController::Sample adm = admission_.sample();
     WatchdogSample w;
     w.commits = s.commits;
     w.aborts = s.aborts;
     w.consecutive_abort_hwm =
         abort_streak_hwm_.load(std::memory_order_relaxed);
-    w.quota = admission_.quota();
-    w.admitted = admission_.admitted();
-    w.serial_holder = admission_.serial_holder();
+    w.quota = adm.quota;
+    w.admitted = adm.admitted;
+    w.serial_holder = adm.serial_holder;
+    const stm::ReclaimStats rs = limbo_.stats();
+    w.overload.limbo_depth = rs.depth;
+    w.overload.limbo_depth_hwm = rs.depth_hwm;
+    w.overload.soft_watermark = config_.limbo_soft_watermark;
+    w.overload.hard_watermark = config_.limbo_hard_watermark;
+    w.overload.soft_passes =
+        limbo_soft_passes_.load(std::memory_order_relaxed);
+    w.overload.quota_sheds =
+        limbo_quota_sheds_.load(std::memory_order_relaxed);
+    w.overload.overloaded = config_.limbo_soft_watermark != 0 &&
+                            rs.depth >= config_.limbo_soft_watermark;
     return w;
   }
 
@@ -177,15 +215,46 @@ class View {
     stm::TxThread& tx = tc.tx;
     tx.abort_mode = stm::AbortMode::kThrow;
     for (;;) {
-      enter(tc, read_only);
+      try {
+        enter(tc, read_only);
+      } catch (const stm::TxConflict& c) {
+        // Begin-time conflict: the engine's begin() ends in a deadline
+        // poll, so a budget that expires between enter()'s pre-admission
+        // check and that poll surfaces here. Rollback and admission leave
+        // already ran on the conflict path; translate exactly like the
+        // in-body case below. (enter()'s own throws — DeadlineExceeded
+        // from the pre-admission check, logic_error on misuse — are not
+        // TxConflict and pass through untouched.)
+        if (c.kind == stm::ConflictKind::kDeadline) {
+          tc.active_view = nullptr;
+          tx.consecutive_aborts = 0;
+          tx.backoff.reset();
+          tx.deadline = Deadline::none();
+          throw stm::DeadlineExceeded{};
+        }
+        tx.backoff.pause();
+        continue;
+      }
       try {
         body();
         exit(tc);
         return;
-      } catch (const stm::TxConflict&) {
+      } catch (const stm::TxConflict& c) {
         // Rollback, admission leave and event accounting already happened
-        // on the conflict path; just pace the retry.
-        tx.backoff.pause();
+        // on the conflict path.
+        if (c.kind == stm::ConflictKind::kDeadline) {
+          // Past-deadline: surface the defined outcome instead of
+          // retrying. The abort path left active_view set for a retry
+          // that will not happen.
+          tc.active_view = nullptr;
+          tx.consecutive_aborts = 0;
+          tx.backoff.reset();
+          tx.deadline = Deadline::none();
+          throw stm::DeadlineExceeded{};
+        }
+        // Pace the retry — unless the budget already ran out, in which
+        // case the next enter() surfaces DeadlineExceeded immediately.
+        if (!tx.deadline.expired()) tx.backoff.pause();
         continue;
       } catch (...) {
         abort_for_exception(tc);
@@ -244,6 +313,12 @@ class View {
   stm::LimboList limbo_;
 
   stm::StripedEpochStats totals_;
+  // Limbo backpressure accounting (DESIGN.md §19): forced passes taken at
+  // the soft watermark, quota halvings applied at the hard one, and the
+  // flag that keeps concurrent exits from shedding quota simultaneously.
+  std::atomic<std::uint64_t> limbo_soft_passes_{0};
+  std::atomic<std::uint64_t> limbo_quota_sheds_{0};
+  std::atomic<bool> shedding_{false};
   // Whole-run consecutive-abort high-water mark (watchdog diagnostic).
   // Updated on the abort path only, where a relaxed CAS-max is noise next
   // to the rollback itself.

@@ -80,6 +80,21 @@ std::uint64_t AdmissionController::stripes_pending() const noexcept {
   return pending;
 }
 
+unsigned AdmissionController::stripes_resident() const noexcept {
+  if (slots_ == nullptr) return 0;
+  unsigned resident = 0;
+  for (unsigned i = 0; i < max_threads_; ++i) {
+    // in before out: out is monotone, so in(t1) - out(t2) never exceeds
+    // the slot's residency (0 or 1) at the in-load instant. Clamps the
+    // churn artefact where a sampler descheduled between the two loads of
+    // stripes_pending() counts every enter/leave cycle in the gap.
+    const std::uint64_t in = slots_[i].in.load(std::memory_order_acquire);
+    const std::uint64_t out = slots_[i].out.load(std::memory_order_acquire);
+    if (in > out) ++resident;
+  }
+  return resident;
+}
+
 bool AdmissionController::try_admit_residue(unsigned* quota_out) {
   std::uint64_t w = state_.load(std::memory_order_acquire);
   while (w & kResidueBit) {
@@ -237,6 +252,10 @@ void AdmissionController::resume() {
                                          std::memory_order_acquire)) {
     }
   }
+  // Availability fault: the resume's broadcast never happens. Parked
+  // admitters re-check on the kDrainPoll bound, so the gate still reopens
+  // within one poll period (regression test in tests/test_fault.cpp).
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   cv_.notify_all();
 }
 
@@ -305,6 +324,9 @@ void AdmissionController::set_quota(unsigned q) {
     }
   }
   lk.unlock();
+  // Availability fault: the quota-change broadcast is dropped; the parked
+  // threads' wait_for re-checks bound the stall to one poll period.
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   // Threads may have parked while the gate was closed for a drain; the
   // install reopened it, so wake them along with any quota-raise waiters.
   if (raised || gate_was_closed) cv_.notify_all();
@@ -401,6 +423,9 @@ void AdmissionController::release_serial() {
                                          std::memory_order_acquire));
   if (w_of(w) == 0) return;
   if (votm::check::thread_intercepted()) return;
+  // Availability fault: the release broadcast is dropped (waiters recover
+  // on the wait_for bound — a serial release must never wedge the gate).
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   { std::lock_guard<std::mutex> lk(mu_); }  // pair with a parker's re-check
   cv_.notify_all();  // admission waiters AND queued serial requesters
 }
@@ -434,6 +459,8 @@ void AdmissionController::leave_mutex() {
     --admitted_;
     drained = admitted_ == 0;
   }
+  // Availability fault: mirrors leave_wake's dropped notify.
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   // A set_quota() call raising Q out of lock mode may be waiting for the
   // view to drain; notify_one could wake an admission waiter instead of it,
   // so broadcast on the drained edge.
@@ -455,6 +482,7 @@ void AdmissionController::resume_mutex() {
     std::lock_guard<std::mutex> lk(mu_);
     paused_ = false;
   }
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   cv_.notify_all();
 }
 
@@ -472,6 +500,7 @@ void AdmissionController::set_quota_mutex(unsigned q) {
     raised = clamped > quota_;
     quota_ = clamped;
   }
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   if (raised) cv_.notify_all();
 }
 
@@ -493,7 +522,18 @@ void AdmissionController::release_serial_mutex() {
     --admitted_;
     serial_mode_ = false;
   }
+  if (VOTM_FAULT(kAdmLostNotify)) return;
   cv_.notify_all();
+}
+
+AdmissionController::Sample AdmissionController::sample_mutex() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Sample s;
+  s.quota = quota_;
+  s.admitted = admitted_;
+  const std::uint64_t h = serial_holder_.load(std::memory_order_acquire);
+  s.serial_holder = h == 0 ? -1 : static_cast<int>(h - 1);
+  return s;
 }
 
 }  // namespace votm::rac

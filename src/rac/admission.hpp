@@ -207,10 +207,32 @@ class AdmissionController {
     if (impl_ == AdmissionImpl::kMutex) return quota_mutex();
     return q_of(state_.load(std::memory_order_acquire));
   }
+
+  // One internally consistent snapshot of (quota, admitted, serial holder).
+  // Separate quota()/admitted() calls each load state_, so a concurrent
+  // set_quota or serial drain can hand the caller a pair that never
+  // coexisted (admitted > quota with no overload in sight); the sample
+  // decodes ONE word — one lock acquisition in the mutex impl — so the
+  // triple is a state that actually existed. View::health() reports this.
+  struct Sample {
+    unsigned quota = 0;
+    unsigned admitted = 0;
+    int serial_holder = -1;  // thread ordinal, -1 = token not held
+  };
+  Sample sample() const {
+    if (impl_ == AdmissionImpl::kMutex) return sample_mutex();
+    const std::uint64_t w = state_.load(std::memory_order_acquire);
+    Sample s;
+    s.quota = q_of(w);
+    s.admitted = p_of(w) + stripes_resident();
+    const std::uint64_t h = serial_holder_.load(std::memory_order_acquire);
+    s.serial_holder = h == 0 ? -1 : static_cast<int>(h - 1);
+    return s;
+  }
   unsigned admitted() const {
     if (impl_ == AdmissionImpl::kMutex) return admitted_mutex();
     return p_of(state_.load(std::memory_order_acquire)) +
-           static_cast<unsigned>(stripes_pending());
+           stripes_resident();
   }
   unsigned max_threads() const noexcept { return max_threads_; }
   AdmissionImpl impl() const noexcept { return impl_; }
@@ -344,7 +366,17 @@ class AdmissionController {
   }
 
   Slot* claim_slot(SlotCacheEntry& e) noexcept;
+  // Drain-poll reader: out before in per slot, so a concurrent entry can
+  // only OVERestimate — by however many enter/leave cycles the owner
+  // completes between the two loads, which under churn is unbounded. Fine
+  // for polls that re-check until zero; never use it for a snapshot.
   std::uint64_t stripes_pending() const noexcept;
+  // Diagnostic reader for sample()/admitted(): in before out per slot,
+  // clamped to {0, 1} residency. Since out only grows, the per-slot value
+  // is at most the residency at the in-load instant, so the sum is bounded
+  // by max_threads — it may transiently MISS a resident entering mid-scan,
+  // which a health sampler tolerates and a drain poll must not.
+  unsigned stripes_resident() const noexcept;
   // Sets OPEN (retiring any residue — the residents just become ordinary
   // slot residents again) when the word qualifies: Q == max_threads, gate
   // not hard-closed, and the host supports the asymmetric fence.
@@ -382,6 +414,7 @@ class AdmissionController {
   void release_serial_mutex();
   unsigned quota_mutex() const;
   unsigned admitted_mutex() const;
+  Sample sample_mutex() const;
 
   const unsigned max_threads_;
   const AdmissionImpl impl_;

@@ -18,6 +18,8 @@ const char* to_string(ConflictKind kind) noexcept {
       return "commit-fail";
     case ConflictKind::kExplicit:
       return "explicit";
+    case ConflictKind::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }

@@ -18,6 +18,7 @@
 #include "stm/txstats.hpp"
 #include "util/backoff.hpp"
 #include "util/cycles.hpp"
+#include "util/deadline.hpp"
 
 namespace votm::stm {
 
@@ -89,6 +90,14 @@ struct TxThread {
   // view's serial token, runs alone, and must not abort (escalation ladder,
   // DESIGN.md §14). Engines branch to plain accesses on it.
   bool serial = false;
+  // Bounded-time budget (DESIGN.md §19). Armed by the View layer on fresh
+  // entry (ViewConfig::tx_deadline_ns or a per-run override) and held
+  // across retries of the same run; engines poll it at their bounded
+  // re-validation points and call conflict(kDeadline) when it has passed.
+  // Serial (irrevocable) transactions never poll it mid-flight — in-place
+  // serial writes cannot be cancelled — so the enforcement point for the
+  // escalation path is the token handoff in View::enter.
+  Deadline deadline;
   // MVCC-lite (DESIGN.md §16): a read-only transaction that consumed a
   // retained ring value is PINNED to its start snapshot — timestamp
   // extension would invalidate the versioned values it already returned,
@@ -125,6 +134,17 @@ struct TxThread {
 static_assert(alignof(TxThread) >= 2,
               "Orec::pack_owner steals the TxThread pointer's LSB as the "
               "lock tag; TxThread must never be byte-aligned");
+
+// The engines' bounded deadline poll: a no-op comparison when no deadline
+// is armed, conflict(kDeadline) once it has passed. Placed at validation
+// and commit entries and inside wait/spin loops — the points whose spacing
+// bounds how long a past-deadline transaction can keep running. Serial
+// transactions are exempt (irrevocable; see TxThread::deadline).
+inline void deadline_poll(TxThread& tx) {
+  if (!tx.serial && tx.deadline.expired()) {
+    tx.conflict(ConflictKind::kDeadline);
+  }
+}
 
 // One engine instance per view. All virtual methods are called with the
 // TxThread of the executing thread; `read`/`write` are only called between
@@ -235,7 +255,15 @@ void atomically(TxEngine& engine, TxThread& tx, Body&& body) {
       tx.consecutive_aborts = 0;
       tx.backoff.reset();
       return;
-    } catch (const TxConflict&) {
+    } catch (const TxConflict& c) {
+      if (c.kind == ConflictKind::kDeadline) {
+        // Past-deadline: conflict() already rolled back and accounted the
+        // abort; surface the defined status instead of re-executing.
+        tx.consecutive_aborts = 0;
+        tx.backoff.reset();
+        tx.deadline = Deadline::none();
+        throw DeadlineExceeded{};
+      }
       tx.backoff.pause();
       continue;  // conflict() already rolled back and accounted
     } catch (...) {

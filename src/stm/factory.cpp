@@ -18,6 +18,9 @@ namespace {
 
 std::atomic<std::uint64_t> g_orec_size_roundups{0};
 std::atomic<std::uint64_t> g_orec_granularity_clamps{0};
+std::atomic<std::uint64_t> g_cm_wait_clamps{0};
+std::atomic<std::uint64_t> g_deadline_clamps{0};
+std::atomic<std::uint64_t> g_watermark_clamps{0};
 
 std::size_t round_up_pow2(std::size_t n) noexcept {
   if (n <= 1) return 1;
@@ -64,10 +67,53 @@ OrecTableConfig sanitized_orec_table_config(const EngineConfig& config) {
   return table;
 }
 
+std::uint32_t sanitized_cm_wait_spin_limit(std::int64_t requested) {
+  if (requested >= static_cast<std::int64_t>(kCmWaitSpinsMin) &&
+      requested <= static_cast<std::int64_t>(kCmWaitSpinsMax)) {
+    return static_cast<std::uint32_t>(requested);
+  }
+  const std::uint32_t clamped =
+      requested < static_cast<std::int64_t>(kCmWaitSpinsMin)
+          ? kCmWaitSpinsMin
+          : kCmWaitSpinsMax;
+  g_cm_wait_clamps.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "votm: cm_wait_spin_limit %lld out of [%u, %u]; clamped "
+               "to %u\n",
+               static_cast<long long>(requested), kCmWaitSpinsMin,
+               kCmWaitSpinsMax, clamped);
+  return clamped;
+}
+
+std::int64_t sanitized_tx_deadline_ns(std::int64_t requested) {
+  if (requested >= 0) return requested;
+  g_deadline_clamps.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "votm: tx_deadline_ns %lld is negative; deadline disabled\n",
+               static_cast<long long>(requested));
+  return 0;
+}
+
+std::size_t sanitized_limbo_hard_watermark(std::size_t soft,
+                                           std::size_t hard) {
+  // Both enabled with hard < soft would shed quota before a reclaim pass
+  // ever ran; raise the hard mark so soft always triggers first.
+  if (soft == 0 || hard == 0 || hard >= soft) return hard;
+  g_watermark_clamps.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "votm: limbo_hard_watermark %zu below soft watermark %zu; "
+               "raised to %zu\n",
+               hard, soft, soft);
+  return soft;
+}
+
 FactoryStats factory_stats() noexcept {
   return FactoryStats{
       g_orec_size_roundups.load(std::memory_order_relaxed),
       g_orec_granularity_clamps.load(std::memory_order_relaxed),
+      g_cm_wait_clamps.load(std::memory_order_relaxed),
+      g_deadline_clamps.load(std::memory_order_relaxed),
+      g_watermark_clamps.load(std::memory_order_relaxed),
   };
 }
 
@@ -79,15 +125,21 @@ std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config) {
     case Algo::kOrecEagerRedo:
       return std::make_unique<OrecEagerRedoEngine>(
           sanitized_orec_table_config(config), config.clock_policy,
-          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh);
+          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh,
+          config.contention_mode,
+          sanitized_cm_wait_spin_limit(config.cm_wait_spin_limit));
     case Algo::kOrecLazy:
       return std::make_unique<OrecLazyEngine>(
           sanitized_orec_table_config(config), config.clock_policy,
-          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh);
+          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh,
+          config.contention_mode,
+          sanitized_cm_wait_spin_limit(config.cm_wait_spin_limit));
     case Algo::kOrecEagerUndo:
       return std::make_unique<OrecEagerUndoEngine>(
           sanitized_orec_table_config(config), config.clock_policy,
-          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh);
+          config.mvcc, config.mvcc_ring_depth, config.mvcc_horizon_refresh,
+          config.contention_mode,
+          sanitized_cm_wait_spin_limit(config.cm_wait_spin_limit));
     case Algo::kTml:
       return std::make_unique<TmlEngine>();
     case Algo::kCgl:

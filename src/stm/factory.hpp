@@ -9,6 +9,7 @@
 #include <string>
 
 #include "stm/clock.hpp"
+#include "stm/contention.hpp"
 #include "stm/engine.hpp"
 #include "stm/mvcc.hpp"
 #include "stm/orec_table.hpp"
@@ -74,6 +75,18 @@ struct EngineConfig {
   // (satellite fix for the 256-commit stale-bound burst; unit-tested
   // via the kEpochStaleHorizon fault site).
   std::uint32_t mvcc_horizon_refresh = OrecVersionRings::kHorizonRefreshPushes;
+  // Wait-based contention management (stm/contention.hpp, DESIGN.md §19):
+  // on a foreign-locked orec the loser parks on the winner's orec with a
+  // bounded wait instead of aborting; timeout falls back to today's
+  // abort+backoff. Orec engines only; NOrec/TML/CGL accept and ignore it
+  // (there is no lock whose wait could save the loser — see the
+  // contention-mode row in docs/ALGORITHMS.md).
+  ContentionMode contention_mode = ContentionMode::kAbortRetry;
+  // Wait budget in spin iterations before the timeout fallback. Signed so
+  // a negative request is representable: the factory clamps zero/negative
+  // and over-limit values into [kCmWaitSpinsMin, kCmWaitSpinsMax] with a
+  // stderr note + FactoryStats counter.
+  std::int64_t cm_wait_spin_limit = kCmWaitSpinsDefault;
 };
 
 std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config = {});
@@ -84,12 +97,27 @@ std::unique_ptr<TxEngine> make_engine(Algo algo, const EngineConfig& config = {}
 struct FactoryStats {
   std::uint64_t orec_size_roundups;       // non-pow2 (or 0) sizes rounded up
   std::uint64_t orec_granularity_clamps;  // out-of-range shifts clamped
+  std::uint64_t cm_wait_clamps;           // zero/negative/huge wait budgets
+  std::uint64_t deadline_clamps;          // negative tx deadlines -> disabled
+  std::uint64_t watermark_clamps;         // hard watermark raised to soft
 };
 FactoryStats factory_stats() noexcept;
 
 // The sanitized table config make_engine would build — exposed so tests
 // and tools can predict the exact table an EngineConfig yields.
 OrecTableConfig sanitized_orec_table_config(const EngineConfig& config);
+
+// Sanitized wait-CM budget: zero/negative and over-limit values clamp into
+// [kCmWaitSpinsMin, kCmWaitSpinsMax] (stderr note + cm_wait_clamps).
+std::uint32_t sanitized_cm_wait_spin_limit(std::int64_t requested);
+
+// View-level robustness knobs share the factory's clamp-and-count
+// treatment (core/view.cpp calls these at construction):
+//   * a negative tx deadline means nothing — sanitized to 0 (disabled);
+//   * a hard limbo watermark BELOW the soft one would shed load before
+//     trying to reclaim — the hard mark is raised to the soft mark.
+std::int64_t sanitized_tx_deadline_ns(std::int64_t requested);
+std::size_t sanitized_limbo_hard_watermark(std::size_t soft, std::size_t hard);
 
 // Parses "norec", "oer"/"oreceagerredo", "lazy"/"oreclazy",
 // "undo"/"oreceagerundo", "tml", "cgl" (case-insensitive).

@@ -29,6 +29,8 @@ void NOrecEngine::begin(TxThread& tx) {
   // mvcc-off transactions never touch it (see begin_common).
   if (tx.read_only && mvcc_) tx.mvcc_snapshot_reads = 0;
   begin_common(tx, this);
+  // After begin_common: conflict() needs tx.engine set to roll back.
+  deadline_poll(tx);
 }
 
 bool NOrecEngine::commits_disjoint(std::uint64_t since, std::uint64_t upto,
@@ -76,12 +78,15 @@ void NOrecEngine::publish_signature(std::uint64_t commit_seq,
 
 std::uint64_t NOrecEngine::validate(TxThread& tx) {
   VOTM_SCHED_POINT(kStmValidate);
+  deadline_poll(tx);
   auto& seq = seqlock_.value;
   for (;;) {
     std::uint64_t time = seq.load(std::memory_order_acquire);
     if ((time & 1) != 0) {
       VOTM_SCHED_YIELD_POINT(kStmWaitSeq);
       Backoff::cpu_relax();
+      // The writer wait-out has no other bound; keep it deadline-capped.
+      deadline_poll(tx);
       continue;
     }
     if (time == tx.snapshot) return time;  // nothing committed since
@@ -127,6 +132,7 @@ Word NOrecEngine::snapshot_read(TxThread& tx, const Word* addr) {
       if (++spins > 64) {
         std::this_thread::yield();
         spins = 0;
+        deadline_poll(tx);
       }
       continue;
     }
@@ -185,6 +191,9 @@ void NOrecEngine::write(TxThread& tx, Word* addr, Word value) {
 
 void NOrecEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
+  // Before any publication: rollback here is trivially clean. Never after
+  // the CAS below — a sequence-lock holder must finish its write-back.
+  deadline_poll(tx);
   auto& seq = seqlock_.value;
   if (tx.read_only) {
     // Declared-RO fast path: skips even the write-set emptiness probe and

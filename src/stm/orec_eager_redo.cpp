@@ -3,6 +3,7 @@
 #include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
+#include "stm/contention.hpp"
 
 namespace votm::stm {
 
@@ -21,6 +22,8 @@ void OrecEagerRedoEngine::begin(TxThread& tx) {
     tx.start_time = clock_.begin_snapshot();
   }
   begin_common(tx, this);
+  // After begin_common: conflict() needs tx.engine set to roll back.
+  deadline_poll(tx);
 }
 
 bool OrecEagerRedoEngine::read_log_valid(TxThread& tx,
@@ -38,6 +41,7 @@ bool OrecEagerRedoEngine::read_log_valid(TxThread& tx,
 
 void OrecEagerRedoEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
+  deadline_poll(tx);
   // TinySTM-style timestamp extension: if nothing we read changed since
   // start_time, the snapshot can be moved forward to `now`; otherwise the
   // transaction is doomed. `now` covers `observed`, so the caller's retry
@@ -84,6 +88,9 @@ Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
         Word retained;
         if (mvcc_read(tx, stripe, addr, &retained)) return retained;
       }
+      // kWaitTimeout: park on the winner's orec; a changed word means the
+      // lock moved and the protocol can re-run instead of aborting.
+      if (cm_wait_orec(tx, o, before, cm_mode_, cm_wait_spins_)) continue;
       // Aggressive self-abort on foreign lock: the paper's configuration,
       // and the source of livelock at high contention.
       tx.conflict(ConflictKind::kReadLocked);
@@ -125,6 +132,7 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
     const Orec::Packed p = o.load();
     if (Orec::is_locked(p)) {
       if (Orec::owner_of(p) == &tx) break;  // already ours
+      if (cm_wait_orec(tx, o, p, cm_mode_, cm_wait_spins_)) continue;
       tx.conflict(ConflictKind::kWriteLocked);
     }
     if (Orec::version_of(p) > tx.start_time) {
@@ -142,6 +150,7 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
 
 void OrecEagerRedoEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
+  deadline_poll(tx);
   if (tx.read_only) {
     // RO fast path: consistent as of start_time by the incremental
     // validation/extension discipline; zero clock traffic, and no

@@ -3,6 +3,7 @@
 #include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
+#include "stm/contention.hpp"
 
 namespace votm::stm {
 
@@ -21,6 +22,8 @@ void OrecEagerUndoEngine::begin(TxThread& tx) {
     tx.start_time = clock_.begin_snapshot();
   }
   begin_common(tx, this);
+  // After begin_common: conflict() needs tx.engine set to roll back.
+  deadline_poll(tx);
 }
 
 bool OrecEagerUndoEngine::read_log_valid(TxThread& tx,
@@ -38,6 +41,7 @@ bool OrecEagerUndoEngine::read_log_valid(TxThread& tx,
 
 void OrecEagerUndoEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
+  deadline_poll(tx);
   const std::uint64_t now = clock_.extension_bound(observed);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
@@ -74,6 +78,9 @@ Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
         Word retained;
         if (mvcc_read(tx, stripe, addr, &retained)) return retained;
       }
+      // kWaitTimeout: outwait the write-through holder; the in-place value
+      // becomes safely readable once the lock drops.
+      if (cm_wait_orec(tx, o, before, cm_mode_, cm_wait_spins_)) continue;
       // Foreign lock covers an in-place SPECULATIVE value: never read it.
       tx.conflict(ConflictKind::kReadLocked);
     }
@@ -111,6 +118,7 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
     const Orec::Packed p = o.load();
     if (Orec::is_locked(p)) {
       if (Orec::owner_of(p) == &tx) break;
+      if (cm_wait_orec(tx, o, p, cm_mode_, cm_wait_spins_)) continue;
       tx.conflict(ConflictKind::kWriteLocked);
     }
     if (Orec::version_of(p) > tx.start_time) {
@@ -132,6 +140,7 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
 
 void OrecEagerUndoEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
+  deadline_poll(tx);
   if (tx.read_only) {
     // RO fast path: zero clock traffic, no write-set reset (never touched).
     tx.rlog.clear();

@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "stm/clock.hpp"
+#include "stm/contention.hpp"
 #include "stm/engine.hpp"
 #include "stm/mvcc.hpp"
 #include "stm/orec_table.hpp"
@@ -32,14 +33,18 @@ class OrecEagerUndoEngine final : public TxEngine {
       ClockPolicy clock_policy = ClockPolicy::kGv1, bool mvcc = false,
       std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
       std::uint32_t mvcc_horizon_refresh =
-          OrecVersionRings::kHorizonRefreshPushes)
+          OrecVersionRings::kHorizonRefreshPushes,
+      ContentionMode contention_mode = ContentionMode::kAbortRetry,
+      std::uint32_t cm_wait_spins = kCmWaitSpinsDefault)
       : clock_(clock_policy),
         orecs_(orec_table),
         mvcc_(mvcc),
         rings_(mvcc ? std::make_unique<OrecVersionRings>(orecs_.size(),
                                                          mvcc_ring_depth)
                     : nullptr),
-        horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)) {}
+        horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)),
+        cm_mode_(contention_mode),
+        cm_wait_spins_(cm_wait_spins) {}
 
   const char* name() const noexcept override { return "OrecEagerUndo"; }
 
@@ -84,6 +89,11 @@ class OrecEagerUndoEngine final : public TxEngine {
   std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
   std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
   const std::uint32_t horizon_mask_;  // EngineConfig::mvcc_horizon_refresh
+  // Wait-based contention management (stm/contention.hpp). Especially apt
+  // here: an abort pays the undo pass, so outwaiting a short commit-time
+  // hold saves the most expensive retry in the design square.
+  const ContentionMode cm_mode_;
+  const std::uint32_t cm_wait_spins_;
 };
 
 }  // namespace votm::stm

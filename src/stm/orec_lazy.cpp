@@ -5,6 +5,7 @@
 #include "check/fault.hpp"
 #include "check/sched_point.hpp"
 #include "stm/access.hpp"
+#include "stm/contention.hpp"
 
 namespace votm::stm {
 
@@ -19,6 +20,8 @@ void OrecLazyEngine::begin(TxThread& tx) {
     tx.start_time = clock_.begin_snapshot();
   }
   begin_common(tx, this);
+  // After begin_common: conflict() needs tx.engine set to roll back.
+  deadline_poll(tx);
 }
 
 bool OrecLazyEngine::read_log_valid(TxThread& tx,
@@ -36,6 +39,7 @@ bool OrecLazyEngine::read_log_valid(TxThread& tx,
 
 void OrecLazyEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
+  deadline_poll(tx);
   const std::uint64_t now = clock_.extension_bound(observed);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
@@ -81,6 +85,9 @@ Word OrecLazyEngine::read(TxThread& tx, const Word* addr) {
       if (++spins > 64) {
         std::this_thread::yield();
         spins = 0;
+        // The wait-out loop has no other bound; without this poll a
+        // past-deadline reader could outwait writers forever.
+        deadline_poll(tx);
       }
       continue;
     }
@@ -118,6 +125,7 @@ void OrecLazyEngine::write(TxThread& tx, Word* addr, Word value) {
 
 void OrecLazyEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
+  deadline_poll(tx);
   if (tx.read_only) {
     // RO fast path: zero clock traffic, no write-set reset (never touched).
     tx.rlog.clear();
@@ -142,6 +150,10 @@ void OrecLazyEngine::commit(TxThread& tx) {
       const Orec::Packed p = o.load();
       if (Orec::is_locked(p)) {
         if (Orec::owner_of(p) == &tx) break;  // aliased earlier entry
+        // kWaitTimeout: the acquisition race is the lazy family's only
+        // foreign-lock conflict; by this point we may already hold locks,
+        // so the ordinal rule inside cm_wait_orec gates the wait.
+        if (cm_wait_orec(tx, o, p, cm_mode_, cm_wait_spins_)) continue;
         tx.conflict(ConflictKind::kCommitFail);
       }
       if (Orec::version_of(p) > tx.start_time) {

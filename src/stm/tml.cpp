@@ -24,6 +24,8 @@ void TmlEngine::begin(TxThread& tx) {
     }
   }
   begin_common(tx, this);
+  // After begin_common: conflict() needs tx.engine set to roll back.
+  deadline_poll(tx);
 }
 
 Word TmlEngine::read(TxThread& tx, const Word* addr) {
@@ -46,6 +48,10 @@ void TmlEngine::write(TxThread& tx, Word* addr, Word value) {
     tx.misuse("write inside a read-only transaction (acquire_Rview)");
   }
   if (!holds_lock(tx)) {
+    // Last deadline check before the point of no return: once the CAS
+    // lands the writer is irrevocable and must run to completion — a TML
+    // transaction past its deadline can only be stopped lock-free.
+    deadline_poll(tx);
     // Availability fault: the acquisition loses as if a writer beat us.
     if (VOTM_FAULT(kTmlAcquireFail)) {
       tx.conflict(ConflictKind::kWriteLocked);

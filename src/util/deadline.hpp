@@ -1,0 +1,60 @@
+// Transaction deadlines (bounded-time transactions, DESIGN.md §19).
+//
+// A Deadline is an absolute steady-clock time point with "none" encoded
+// as time_point::max(), so the common disabled case costs one comparison
+// and zero clock reads. Engines poll expired() at their bounded
+// re-validation points (begin spins, timestamp extension, commit entry,
+// wait-CM loops); the View layer polls it at every retry boundary. The
+// contract the checks add up to: once a transaction's deadline passes,
+// it reaches the defined DeadlineExceeded outcome within one bounded
+// validation/backoff step — it can never park, spin, or retry
+// indefinitely past its budget.
+//
+// steady_clock, never system_clock: a deadline is a duration budget, and
+// wall-clock adjustments (NTP slew) must not stretch or shrink it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace votm {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  constexpr Deadline() noexcept : tp_(Clock::time_point::max()) {}
+  explicit constexpr Deadline(Clock::time_point tp) noexcept : tp_(tp) {}
+
+  static constexpr Deadline none() noexcept { return Deadline(); }
+
+  // Deadline `budget` from now. Non-positive budgets yield an
+  // already-expired deadline (a defined, immediately-cancelling value) —
+  // config-level sanitization maps negative *configured* budgets to
+  // "disabled" instead, before they ever reach here (stm/factory.cpp).
+  static Deadline after(std::chrono::nanoseconds budget) noexcept {
+    return Deadline(Clock::now() + budget);
+  }
+
+  constexpr bool active() const noexcept {
+    return tp_ != Clock::time_point::max();
+  }
+
+  // One vDSO clock read when armed; free when not. Callers on spin paths
+  // amortize this over a few hundred iterations (stm/contention.hpp).
+  bool expired() const noexcept { return active() && Clock::now() >= tp_; }
+
+  constexpr Clock::time_point when() const noexcept { return tp_; }
+
+  friend constexpr bool operator==(Deadline a, Deadline b) noexcept {
+    return a.tp_ == b.tp_;
+  }
+  friend constexpr bool operator!=(Deadline a, Deadline b) noexcept {
+    return a.tp_ != b.tp_;
+  }
+
+ private:
+  Clock::time_point tp_;
+};
+
+}  // namespace votm

@@ -21,12 +21,45 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <thread>
 
 namespace votm {
+
+// Structured overload state (limbo backpressure, DESIGN.md §19): how deep
+// the limbo list is against its watermarks and what degradation has been
+// applied so far. All monotonic except depth/overloaded, which are the
+// instantaneous reading. Kept a plain aggregate so util stays core-free:
+// View::health() fills it; anything watchdog-shaped can carry it.
+struct OverloadDiagnostic {
+  std::size_t limbo_depth = 0;
+  std::size_t limbo_depth_hwm = 0;   // whole-run high-water mark
+  std::size_t soft_watermark = 0;    // 0 = disabled
+  std::size_t hard_watermark = 0;    // 0 = disabled
+  std::uint64_t soft_passes = 0;     // forced reclaim passes (soft mark)
+  std::uint64_t quota_sheds = 0;     // admission quota halvings (hard mark)
+  bool overloaded = false;           // depth >= soft mark right now
+
+  std::string to_string() const {
+    std::string s = overloaded ? "OVERLOADED: " : "nominal: ";
+    s += "limbo depth ";
+    s += std::to_string(limbo_depth);
+    s += " (hwm ";
+    s += std::to_string(limbo_depth_hwm);
+    s += ") vs soft ";
+    s += std::to_string(soft_watermark);
+    s += " / hard ";
+    s += std::to_string(hard_watermark);
+    s += "; forced passes ";
+    s += std::to_string(soft_passes);
+    s += ", quota sheds ";
+    s += std::to_string(quota_sheds);
+    return s;
+  }
+};
 
 // One poll of a view's health counters. commits/aborts are monotonic
 // whole-run totals; the watchdog differences consecutive samples itself.
@@ -37,6 +70,7 @@ struct WatchdogSample {
   unsigned quota = 0;
   unsigned admitted = 0;
   int serial_holder = -1;  // thread ordinal, -1 = token not held
+  OverloadDiagnostic overload{};
 };
 
 // Raised (via the alarm callback) after `strikes` consecutive zero-commit,

@@ -146,6 +146,93 @@ TEST(FaultMatrix, EscalationLadderHoldsAcrossEngines) {
   }
 }
 
+// Wait-based contention management (stm/contention.hpp): a conflict-heavy
+// workload under kWaitTimeout across the orec engines and clock policies.
+// The opacity oracle must stay clean (waiting never trades correctness for
+// progress) and the per-transaction max_attempts loop doubles as the
+// starvation-freedom oracle — a wait-CM deadlock or unbounded park would
+// exhaust it and fail as a worker error instead of hanging exploration.
+StmRandomConfig wait_cm_config(stm::Algo algo, stm::ClockPolicy clock) {
+  StmRandomConfig cfg;
+  cfg.algo = algo;
+  cfg.contention_mode = stm::ContentionMode::kWaitTimeout;
+  cfg.clock_policy = clock;
+  cfg.threads = 3;
+  cfg.vars = 2;          // conflict-heavy: everyone fights over two words
+  cfg.write_pct = 80;
+  return cfg;
+}
+
+constexpr stm::Algo kOrecEngines[] = {
+    stm::Algo::kOrecEagerRedo,
+    stm::Algo::kOrecLazy,
+    stm::Algo::kOrecEagerUndo,
+};
+
+TEST(WaitCm, WaitTimeoutStaysOpaqueAcrossEnginesAndClocks) {
+  for (const stm::Algo algo : kOrecEngines) {
+    for (const stm::ClockPolicy clock :
+         {stm::ClockPolicy::kGv1, stm::ClockPolicy::kGv6}) {
+      StmRandomScenario scenario(wait_cm_config(algo, clock));
+      const auto report = explore_random(scenario, 40, 0x3A17);
+      EXPECT_TRUE(report.clean())
+          << stm::to_string(algo) << "/" << stm::to_string(clock)
+          << " :: " << report.repro;
+    }
+  }
+}
+
+// Availability: the wait times out immediately (a seeded window), forcing
+// the kAbortRetry fallback mid-conflict. The fallback is exactly today's
+// abort path, so the oracles must stay clean — and the site must fire
+// (campaign-level vacuity: the workload is conflict-heavy by construction).
+TEST(WaitCm, SeededTimeoutFallbackCampaign) {
+  FaultInjector& inj = FaultInjector::instance();
+  for (const stm::Algo algo : kOrecEngines) {
+    std::uint64_t triggers = 0;
+    for (const std::uint64_t seed : {0x71AEu, 0x71AFu}) {
+      StmRandomScenario scenario(
+          wait_cm_config(algo, stm::ClockPolicy::kGv1));
+      const FaultPlan plan =
+          inj.arm_seeded(FaultSite::kCmWaitTimeout, seed, /*max_skip=*/4);
+      const auto report = explore_random(scenario, 40, seed);
+      triggers += inj.triggers(FaultSite::kCmWaitTimeout);
+      inj.disarm_all();
+      EXPECT_TRUE(report.clean())
+          << repro_line(FaultSite::kCmWaitTimeout, seed, plan)
+          << " :: " << report.repro;
+    }
+    // Per-seed the loser may abort on a natural conflict before parking;
+    // across both seeds the timeout must have fired at least once.
+    EXPECT_GT(triggers, 0u)
+        << "vacuous wait-timeout campaign for " << stm::to_string(algo);
+  }
+}
+
+// Availability: a parked loser never observes the winner's unlock (the
+// lost-wakeup torture case). The wait MUST exit through its iteration
+// bound and fall back to abort+retry — correctness and progress intact.
+TEST(WaitCm, SeededLostWakeupExitsThroughTheBound) {
+  FaultInjector& inj = FaultInjector::instance();
+  for (const stm::Algo algo : kOrecEngines) {
+    std::uint64_t triggers = 0;
+    for (const std::uint64_t seed : {0x10A3u, 0x10A4u}) {
+      StmRandomScenario scenario(
+          wait_cm_config(algo, stm::ClockPolicy::kGv1));
+      const FaultPlan plan = inj.arm_seeded(FaultSite::kCmWaitLostWakeup,
+                                            seed, /*max_skip=*/4);
+      const auto report = explore_random(scenario, 40, seed);
+      triggers += inj.triggers(FaultSite::kCmWaitLostWakeup);
+      inj.disarm_all();
+      EXPECT_TRUE(report.clean())
+          << repro_line(FaultSite::kCmWaitLostWakeup, seed, plan)
+          << " :: " << report.repro;
+    }
+    EXPECT_GT(triggers, 0u)
+        << "vacuous lost-wakeup campaign for " << stm::to_string(algo);
+  }
+}
+
 // Mutation: drop the serial token right after the drain hands it over. The
 // mutual-exclusion oracles (peers observing a foreign token holder, the
 // irrevocable transaction observing concurrent admissions) must catch it,
@@ -206,6 +293,106 @@ TEST(LostNotify, ParkedWaiterRecoversWithinPollPeriod) {
   waiter.join();
   inj.disarm_all();
   EXPECT_EQ(ac.admitted(), 0u);
+}
+
+// The other three notify paths found by the condvar audit (resume,
+// set_quota's gate-reopen, release_serial) carry the same kAdmLostNotify
+// site: each must recover through the wait_for(kDrainPoll) re-check loop
+// when its notify is dropped, on both gate implementations.
+void expect_recovers(std::atomic<bool>& flag, const char* path) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!flag.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(flag.load(std::memory_order_acquire))
+      << "waiter hung on a lost " << path
+      << " notify: the wait_for re-check loop regressed";
+}
+
+TEST(LostNotify, ResumeWaiterRecoversWithinPollPeriod) {
+  FaultInjector& inj = FaultInjector::instance();
+  for (const rac::AdmissionImpl impl :
+       {rac::AdmissionImpl::kAtomic, rac::AdmissionImpl::kMutex}) {
+    rac::AdmissionController ac(/*max_threads=*/2, /*initial_quota=*/2, impl,
+                                /*spin_budget=*/1);
+    ac.pause();
+    FaultPlan plan;
+    plan.fire = ~std::uint64_t{0};
+    inj.arm(FaultSite::kAdmLostNotify, plan);
+    std::atomic<bool> admitted{false};
+    std::thread waiter([&] {
+      ac.admit();  // paused: parks until resume
+      admitted.store(true, std::memory_order_release);
+      ac.leave();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ac.resume();  // the notify is dropped
+    expect_recovers(admitted, "resume");
+    waiter.join();
+    inj.disarm_all();
+    EXPECT_EQ(ac.admitted(), 0u);
+  }
+}
+
+TEST(LostNotify, QuotaRaiseWaiterRecoversWithinPollPeriod) {
+  FaultInjector& inj = FaultInjector::instance();
+  for (const rac::AdmissionImpl impl :
+       {rac::AdmissionImpl::kAtomic, rac::AdmissionImpl::kMutex}) {
+    // Raise between transactional quotas (2 -> 3): applies immediately.
+    // (Raising FROM 1 first drains the lock-mode resident, so a holder
+    // calling it would deadlock on its own admission — a usage error,
+    // not the notify path under test.) max_threads = 3 keeps the gate
+    // off the fence-free OPEN mode, so both slots go through the CAS
+    // gate and the parked waiter depends on set_quota's broadcast.
+    rac::AdmissionController ac(/*max_threads=*/3, /*initial_quota=*/2, impl,
+                                /*spin_budget=*/1);
+    ASSERT_EQ(ac.admit(), 2u);  // fill both slots (gated path tolerates
+    ASSERT_EQ(ac.admit(), 2u);  // multiple admissions from one thread)
+    FaultPlan plan;
+    plan.fire = ~std::uint64_t{0};
+    inj.arm(FaultSite::kAdmLostNotify, plan);
+    std::atomic<bool> admitted{false};
+    std::thread waiter([&] {
+      ac.admit();  // quota full: parks
+      admitted.store(true, std::memory_order_release);
+      ac.leave();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ac.set_quota(3);  // the raise's notify is dropped
+    expect_recovers(admitted, "set_quota");
+    waiter.join();
+    ac.leave();
+    ac.leave();
+    inj.disarm_all();
+    EXPECT_EQ(ac.admitted(), 0u);
+  }
+}
+
+TEST(LostNotify, SerialReleaseWaiterRecoversWithinPollPeriod) {
+  FaultInjector& inj = FaultInjector::instance();
+  for (const rac::AdmissionImpl impl :
+       {rac::AdmissionImpl::kAtomic, rac::AdmissionImpl::kMutex}) {
+    rac::AdmissionController ac(/*max_threads=*/2, /*initial_quota=*/2, impl,
+                                /*spin_budget=*/1);
+    ac.acquire_serial();
+    FaultPlan plan;
+    plan.fire = ~std::uint64_t{0};
+    inj.arm(FaultSite::kAdmLostNotify, plan);
+    std::atomic<bool> admitted{false};
+    std::thread waiter([&] {
+      ac.admit();  // gate closed by the token: parks
+      admitted.store(true, std::memory_order_release);
+      ac.leave();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ac.release_serial();  // the reopen's notify is dropped
+    expect_recovers(admitted, "release_serial");
+    waiter.join();
+    inj.disarm_all();
+    EXPECT_EQ(ac.admitted(), 0u);
+  }
 }
 
 // Serial-token lifecycle on both gate implementations, plus the mutex
