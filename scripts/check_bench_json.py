@@ -29,6 +29,7 @@ import sys
 REQUIRED_BASELINES = [
     "BENCH_admission.json",
     "BENCH_clock.json",
+    "BENCH_cm.json",
     "BENCH_escalation.json",
     "BENCH_granularity.json",
     "BENCH_mvcc.json",

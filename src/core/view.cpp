@@ -134,6 +134,7 @@ void View::enter(ThreadCtx& tc, bool read_only) {
     tx.consecutive_aborts = 0;
     tx.backoff.reset();
     tx.deadline = Deadline::none();
+    tx.cm.end_run();
     throw stm::DeadlineExceeded{};
   }
 
@@ -158,6 +159,7 @@ void View::enter(ThreadCtx& tc, bool read_only) {
         tx.consecutive_aborts = 0;
         tx.backoff.reset();
         tx.deadline = Deadline::none();
+        tx.cm.end_run();
         throw stm::DeadlineExceeded{};
       }
       // Sampled after the serial drain; same ordering argument as below.
@@ -228,6 +230,7 @@ void View::exit(ThreadCtx& tc) {
   tx.consecutive_aborts = 0;
   tx.backoff.reset();
   tx.deadline = Deadline::none();  // the run is over; budgets never leak
+  tx.cm.end_run();  // victim-choice priority must not leak either (§20)
 
   tc.tx_allocs.clear();
   apply_deferred_frees(tc, engine);
@@ -349,6 +352,7 @@ void View::abort_for_exception(ThreadCtx& tc) {
   tx.backoff.reset();
   tx.serial = false;
   tx.deadline = Deadline::none();
+  tx.cm.end_run();  // terminal path: CM priority dies with the run (§20)
   undo_tx_allocs(tc);
   tc.tx_frees.clear();
   // Only a transaction this view entered can hold a pin in this view's

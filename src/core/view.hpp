@@ -230,6 +230,7 @@ class View {
           tx.consecutive_aborts = 0;
           tx.backoff.reset();
           tx.deadline = Deadline::none();
+          tx.cm.end_run();
           throw stm::DeadlineExceeded{};
         }
         tx.backoff.pause();
@@ -250,6 +251,7 @@ class View {
           tx.consecutive_aborts = 0;
           tx.backoff.reset();
           tx.deadline = Deadline::none();
+          tx.cm.end_run();
           throw stm::DeadlineExceeded{};
         }
         // Pace the retry — unless the budget already ran out, in which

@@ -1,0 +1,315 @@
+// Victim-choice contention-management policies (DESIGN.md §20).
+//
+// PR 9's ContentionMode answers "does the loser of a lock conflict wait or
+// abort?". This layer answers the orthogonal question "WHO should lose?".
+// Each policy assigns every running transaction a 64-bit priority (higher
+// wins) and the conflict is resolved in priority order:
+//
+//   kAbortSelf        baseline: the thread that discovered the conflict
+//                     loses (exactly the pre-PR behavior, bit for bit).
+//   kAbortYounger     the transaction with the OLDER first-begin timestamp
+//                     wins; a younger loser defers (waits when the wait
+//                     mode allows, aborts otherwise). Passive: winners
+//                     never ask a lock holder to step aside.
+//   kKarma            priority = cycles burned in aborted attempts of the
+//                     current run (capped); work done is work owed.
+//                     Active: a higher-karma loser posts a yield demand
+//                     the owner honors at its next validation point.
+//   kTimestampGreedy  the classic Greedy manager: priority = ~first-begin
+//                     timestamp, fixed for the whole run (retries keep the
+//                     original rank, which is what makes Greedy's pending-
+//                     commit property hold). Active like kKarma.
+//   kWindowGreedy     window-based Greedy (Sharma/Estrade/Busch): each
+//                     fresh run draws a random slot in a window of W
+//                     intervals and each abort moves the transaction one
+//                     slot toward the window front; priority is the
+//                     distance already travelled. The randomized start
+//                     de-synchronizes batches of identical transactions so
+//                     they stop colliding in lockstep.
+//
+// Priorities are published through a small padded table (CmPriorityTable)
+// keyed by the TxThread's address, so the side that meets a foreign lock
+// can rank itself against the owner WITHOUT dereferencing the owner's
+// TxThread (which may already be gone — same rule as the ordinal
+// deadlock-avoidance order in stm/contention.hpp). The table is a
+// heuristic channel: a stale or torn read only mispredicts the victim
+// choice, never safety — every decision degrades to the kAbortSelf path.
+// Memory-order contract: publish = priority store (relaxed) then owner tag
+// store (release); read = tag load (acquire), priority load (relaxed), tag
+// re-check (relaxed). A reader that sees its own observed owner tag on
+// both sides of the priority load got a value that owner actually
+// published. No RMWs anywhere on the path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+
+namespace votm::stm {
+
+enum class CmPolicy : std::uint8_t {
+  kAbortSelf,        // discoverer loses (baseline; no table traffic)
+  kAbortYounger,     // older first-begin wins; passive
+  kKarma,            // aborted-cycles accumulator wins; active
+  kTimestampGreedy,  // fixed first-begin rank (Greedy); active
+  kWindowGreedy,     // randomized-interval window scheduling; active
+};
+inline constexpr std::uint8_t kCmPolicyCount = 5;
+
+inline const char* to_string(CmPolicy p) noexcept {
+  switch (p) {
+    case CmPolicy::kAbortSelf: return "abort_self";
+    case CmPolicy::kAbortYounger: return "abort_younger";
+    case CmPolicy::kKarma: return "karma";
+    case CmPolicy::kTimestampGreedy: return "timestamp_greedy";
+    case CmPolicy::kWindowGreedy: return "window_greedy";
+  }
+  return "?";
+}
+
+inline bool cm_policy_from_string(const char* s, CmPolicy* out) noexcept {
+  auto eq = [](const char* a, const char* b) noexcept {
+    for (; *a && *b; ++a, ++b) {
+      const char ca = (*a >= 'A' && *a <= 'Z') ? char(*a - 'A' + 'a') : *a;
+      const char cb = ca == '-' ? '_' : ca;
+      if (cb != *b) return false;
+    }
+    return *a == '\0' && *b == '\0';
+  };
+  if (eq(s, "abort_self") || eq(s, "self")) {
+    *out = CmPolicy::kAbortSelf;
+    return true;
+  }
+  if (eq(s, "abort_younger") || eq(s, "younger")) {
+    *out = CmPolicy::kAbortYounger;
+    return true;
+  }
+  if (eq(s, "karma")) {
+    *out = CmPolicy::kKarma;
+    return true;
+  }
+  if (eq(s, "timestamp_greedy") || eq(s, "greedy")) {
+    *out = CmPolicy::kTimestampGreedy;
+    return true;
+  }
+  if (eq(s, "window_greedy") || eq(s, "window")) {
+    *out = CmPolicy::kWindowGreedy;
+    return true;
+  }
+  return false;
+}
+
+// Knob bounds (sanitized in stm/factory.cpp with the stderr-note +
+// FactoryStats-counter treatment every other knob gets).
+//
+// The karma cap bounds the priority a single run can accumulate so one
+// pathological transaction cannot hold top rank forever (Greedy's
+// starvation argument needs ranks that eventually turn over; karma's
+// turnover is the cap plus the end-of-run reset).
+inline constexpr std::uint64_t kCmKarmaCapDefault = std::uint64_t{1} << 32;
+inline constexpr std::uint64_t kCmKarmaCapMin = 1;
+inline constexpr std::uint64_t kCmKarmaCapMax = std::uint64_t{1} << 56;
+// Window width W: a fresh run draws a slot in [0, W); W-1 aborts at most
+// until the transaction reaches the window front (top priority).
+inline constexpr std::uint32_t kCmWindowDefault = 8;
+inline constexpr std::uint32_t kCmWindowMin = 2;
+inline constexpr std::uint32_t kCmWindowMax = 1u << 16;
+
+// Per-thread victim-choice state, carried on TxThread and reused across
+// transactions. Lifecycle contract (audited in tests/test_cm.cpp):
+//   * accumulates across conflict-retry attempts of ONE logical run
+//     (TxThread::conflict adds karma; handle_abort keeps it);
+//   * reset by end_run() wherever a run terminates for good — commit
+//     (View::exit / atomically success), a deadline surfacing as
+//     DeadlineExceeded, a user exception (abort_for_exception), or API
+//     misuse. Anything else would leak one run's priority into the next
+//     unrelated run.
+struct CmState {
+  // Cycles burned in aborted attempts of the current run (+1 per abort so
+  // the rank still moves when cycle collection is off). kKarma priority.
+  std::uint64_t karma = 0;
+  // First-begin ordinal of the current run (clock value at the run's FIRST
+  // attempt; retries keep it). kAbortYounger / kTimestampGreedy rank.
+  std::uint64_t first_age = 0;
+  // Window slot of the current run: drawn uniformly in [0, W) at the first
+  // attempt, decremented toward 0 on each abort. kWindowGreedy rank is the
+  // distance already travelled (W-1 - slot).
+  std::uint64_t window_slot = 0;
+  // SplitMix64 stream for the window draw. Seeded once (any nonzero
+  // constant); each draw also mixes in the begin ordinal so concurrent
+  // threads with identical histories still de-synchronize.
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  // The priority published for the current attempt (cache of the policy
+  // function; the owner-side poll compares against it).
+  std::uint64_t priority = 0;
+
+  void end_run() noexcept {
+    karma = 0;
+    first_age = 0;
+    window_slot = 0;
+    priority = 0;
+  }
+
+  // One SplitMix64 step over the stream xor'ed with `salt`.
+  std::uint64_t draw(std::uint64_t salt) noexcept {
+    rng += 0x9e3779b97f4a7c15ull + (salt << 1 | 1);
+    std::uint64_t z = rng;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+// The padded priority table. One global instance: priorities are keyed by
+// TxThread address, which is process-global (a TxThread only ever runs one
+// transaction at a time regardless of which view/engine it is on).
+//
+// Slots are hashed from the TxThread address with bounded linear probing
+// (kProbe): a publisher whose home slot is held by a live foreigner claims
+// the next free slot in its window, and every lookup scans the same window
+// for the owner tag. Up to kProbe co-hashing threads therefore never
+// collide at all — which also keeps votm-check campaigns address-layout
+// independent (ASLR moving thread stacks cannot flip a victim choice).
+// Past that the old degradation applies: threads overwrite each other's
+// slot and the owner-tag check turns the entry into "owner unknown" — the
+// conflict then resolves the baseline way.
+class CmPriorityTable {
+ public:
+  static constexpr std::size_t kSlots = 64;  // power of two
+  static constexpr std::size_t kProbe = 4;   // window: home + 3 successors
+
+  static CmPriorityTable& instance() noexcept {
+    static CmPriorityTable table;
+    return table;
+  }
+
+  // Publish `priority` for the transaction identified by `self`. Called at
+  // begin (and whenever the rank changes); plain stores only. Probes for
+  // an entry this key already owns, then for a free slot; with the whole
+  // window held by live foreigners it falls back to overwriting the home
+  // slot (degraded, still safe — the evicted thread reads as unknown).
+  void publish(const void* self, std::uint64_t priority) noexcept {
+    Slot* free_slot = nullptr;
+    for (std::size_t i = 0; i < kProbe; ++i) {
+      Slot& s = slot_at(self, i);
+      const std::uintptr_t tag = s.owner.load(std::memory_order_relaxed);
+      if (tag == key(self)) {
+        s.priority.store(priority, std::memory_order_relaxed);
+        return;
+      }
+      if (tag == 0 && free_slot == nullptr) free_slot = &s;
+    }
+    Slot& s = free_slot != nullptr ? *free_slot : slot_at(self, 0);
+    s.priority.store(priority, std::memory_order_relaxed);
+    s.owner.store(key(self), std::memory_order_release);
+  }
+
+  // Drop the published entry (end of run). Leaves foreign entries alone.
+  void withdraw(const void* self) noexcept {
+    for (std::size_t i = 0; i < kProbe; ++i) {
+      Slot& s = slot_at(self, i);
+      if (s.owner.load(std::memory_order_relaxed) == key(self)) {
+        s.owner.store(0, std::memory_order_release);
+        return;
+      }
+    }
+  }
+
+  // Read the priority `owner` published. False when no window slot holds
+  // the key (never published, already finished, or evicted past the probe
+  // bound) — callers must treat that as "unknown" and fall back to
+  // baseline victim choice.
+  bool read(const void* owner, std::uint64_t* priority) const noexcept {
+    for (std::size_t i = 0; i < kProbe; ++i) {
+      const Slot& s = slot_at(owner, i);
+      if (s.owner.load(std::memory_order_acquire) != key(owner)) continue;
+      *priority = s.priority.load(std::memory_order_relaxed);
+      if (s.owner.load(std::memory_order_relaxed) == key(owner)) return true;
+    }
+    return false;
+  }
+
+  // A losing transaction with priority `prio` asks `owner` to step aside.
+  // Racy max of plain stores: a lost update weakens the hint, nothing
+  // else. The demand lands in the OWNER's slot; the owner polls it with
+  // take_yield() at its validation/commit entries.
+  void request_yield(const void* owner, std::uint64_t prio) noexcept {
+    for (std::size_t i = 0; i < kProbe; ++i) {
+      Slot& s = slot_at(owner, i);
+      if (s.owner.load(std::memory_order_acquire) != key(owner)) continue;
+      if (s.yield_prio.load(std::memory_order_relaxed) < prio) {
+        s.yield_prio.store(prio, std::memory_order_release);
+      }
+      return;
+    }
+  }
+
+  // Owner-side poll: consume a pending yield demand. Returns true when a
+  // strictly higher-priority loser asked this transaction to step aside
+  // (ties favor the incumbent — no mutual kill). Two relaxed loads on the
+  // common path: the home-slot tag plus its (usually zero) demand word.
+  bool take_yield(const void* self, std::uint64_t my_prio) noexcept {
+    for (std::size_t i = 0; i < kProbe; ++i) {
+      Slot& s = slot_at(self, i);
+      if (s.owner.load(std::memory_order_relaxed) != key(self)) continue;
+      const std::uint64_t demand =
+          s.yield_prio.load(std::memory_order_relaxed);
+      if (demand == 0) return false;
+      s.yield_prio.store(0, std::memory_order_relaxed);
+      return demand > my_prio;
+    }
+    return false;
+  }
+
+  // Clear any demand left over from a previous occupant of our slot so it
+  // cannot doom the first attempt of a fresh run.
+  void clear_yield(const void* self) noexcept {
+    for (std::size_t i = 0; i < kProbe; ++i) {
+      Slot& s = slot_at(self, i);
+      if (s.owner.load(std::memory_order_relaxed) != key(self)) continue;
+      if (s.yield_prio.load(std::memory_order_relaxed) != 0) {
+        s.yield_prio.store(0, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+
+  // Harness-only: drop every entry. votm-check scenarios call this between
+  // exploration runs so a replayed schedule starts from the same table
+  // state the original run saw (stale tags from an earlier run could
+  // otherwise flip a victim choice and lose the reproducer). NOT safe
+  // against live transactions — callers must be quiescent.
+  void reset() noexcept {
+    for (Slot& s : slots_) {
+      s.owner.store(0, std::memory_order_relaxed);
+      s.priority.store(0, std::memory_order_relaxed);
+      s.yield_prio.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uintptr_t> owner{0};
+    std::atomic<std::uint64_t> priority{0};
+    std::atomic<std::uint64_t> yield_prio{0};
+  };
+
+  static std::uintptr_t key(const void* p) noexcept {
+    return reinterpret_cast<std::uintptr_t>(p);
+  }
+  // The i-th slot of p's probe window (i < kProbe), wrapping at the end.
+  Slot& slot_at(const void* p, std::size_t i) const noexcept {
+    // TxThreads are at least 2-aligned and usually 64+ bytes apart; fold
+    // the high bits in so nearby stack addresses spread.
+    std::uint64_t k = static_cast<std::uint64_t>(key(p));
+    k ^= k >> 17;
+    k *= 0x9e3779b97f4a7c15ull;
+    k ^= k >> 32;
+    return const_cast<Slot&>(slots_[(k + i) & (kSlots - 1)]);
+  }
+
+  Slot slots_[kSlots];
+};
+
+}  // namespace votm::stm

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "stm/abort.hpp"
+#include "stm/cm_policy.hpp"
 #include "stm/logs.hpp"
 #include "stm/orec_table.hpp"
 #include "stm/txstats.hpp"
@@ -108,6 +109,11 @@ struct TxThread {
   // Reads served from a version ring in the current transaction
   // (diagnostics; bench/micro_mvcc asserts the path is actually taken).
   std::uint64_t mvcc_snapshot_reads = 0;
+  // Victim-choice CM state (stm/cm_policy.hpp, DESIGN.md §20): karma
+  // accumulator, run age, window slot and the published priority.
+  // Accumulates across retries of one run; every terminal path (commit,
+  // DeadlineExceeded, user exception, misuse) calls cm.end_run().
+  CmState cm;
 
   // Rolls back the active transaction and transfers control to the retry
   // point. Never returns.
@@ -254,6 +260,7 @@ void atomically(TxEngine& engine, TxThread& tx, Body&& body) {
       tx.engine = nullptr;
       tx.consecutive_aborts = 0;
       tx.backoff.reset();
+      tx.cm.end_run();
       return;
     } catch (const TxConflict& c) {
       if (c.kind == ConflictKind::kDeadline) {
@@ -262,6 +269,7 @@ void atomically(TxEngine& engine, TxThread& tx, Body&& body) {
         tx.consecutive_aborts = 0;
         tx.backoff.reset();
         tx.deadline = Deadline::none();
+        tx.cm.end_run();
         throw DeadlineExceeded{};
       }
       tx.backoff.pause();
@@ -272,6 +280,7 @@ void atomically(TxEngine& engine, TxThread& tx, Body&& body) {
       tx.clear_logs();
       tx.in_tx = false;
       tx.engine = nullptr;
+      tx.cm.end_run();
       throw;
     }
   }

@@ -22,6 +22,9 @@ void OrecEagerRedoEngine::begin(TxThread& tx) {
     tx.start_time = clock_.begin_snapshot();
   }
   begin_common(tx, this);
+  // Victim-choice CM: rank this attempt and publish the priority before
+  // anyone can meet our locks (DESIGN.md §20).
+  cm_on_begin(tx, cm_, tx.start_time);
   // After begin_common: conflict() needs tx.engine set to roll back.
   deadline_poll(tx);
 }
@@ -42,6 +45,9 @@ bool OrecEagerRedoEngine::read_log_valid(TxThread& tx,
 void OrecEagerRedoEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
   deadline_poll(tx);
+  // A higher-priority loser may be parked on one of our encounter locks;
+  // honor its yield demand here, where conflict() is still clean.
+  cm_owner_poll(tx, cm_);
   // TinySTM-style timestamp extension: if nothing we read changed since
   // start_time, the snapshot can be moved forward to `now`; otherwise the
   // transaction is doomed. `now` covers `observed`, so the caller's retry
@@ -88,9 +94,11 @@ Word OrecEagerRedoEngine::read(TxThread& tx, const Word* addr) {
         Word retained;
         if (mvcc_read(tx, stripe, addr, &retained)) return retained;
       }
-      // kWaitTimeout: park on the winner's orec; a changed word means the
-      // lock moved and the protocol can re-run instead of aborting.
-      if (cm_wait_orec(tx, o, before, cm_mode_, cm_wait_spins_)) continue;
+      // Victim-choice CM: rank us against the lock holder, then wait out
+      // or abort per the decision (kAbortSelf degrades to the plain
+      // kWaitTimeout park; a changed word means the lock moved and the
+      // protocol can re-run instead of aborting).
+      if (cm_resolve_foreign_lock(tx, o, before, cm_)) continue;
       // Aggressive self-abort on foreign lock: the paper's configuration,
       // and the source of livelock at high contention.
       tx.conflict(ConflictKind::kReadLocked);
@@ -132,7 +140,7 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
     const Orec::Packed p = o.load();
     if (Orec::is_locked(p)) {
       if (Orec::owner_of(p) == &tx) break;  // already ours
-      if (cm_wait_orec(tx, o, p, cm_mode_, cm_wait_spins_)) continue;
+      if (cm_resolve_foreign_lock(tx, o, p, cm_)) continue;
       tx.conflict(ConflictKind::kWriteLocked);
     }
     if (Orec::version_of(p) > tx.start_time) {
@@ -151,6 +159,7 @@ void OrecEagerRedoEngine::write(TxThread& tx, Word* addr, Word value) {
 void OrecEagerRedoEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
   deadline_poll(tx);
+  cm_owner_poll(tx, cm_);
   if (tx.read_only) {
     // RO fast path: consistent as of start_time by the incremental
     // validation/extension discipline; zero clock traffic, and no

@@ -31,8 +31,7 @@ class OrecEagerRedoEngine final : public TxEngine {
       std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
       std::uint32_t mvcc_horizon_refresh =
           OrecVersionRings::kHorizonRefreshPushes,
-      ContentionMode contention_mode = ContentionMode::kAbortRetry,
-      std::uint32_t cm_wait_spins = kCmWaitSpinsDefault)
+      CmRuntime cm = {})
       : clock_(clock_policy),
         orecs_(orec_table),
         mvcc_(mvcc),
@@ -40,8 +39,7 @@ class OrecEagerRedoEngine final : public TxEngine {
                                                          mvcc_ring_depth)
                     : nullptr),
         horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)),
-        cm_mode_(contention_mode),
-        cm_wait_spins_(cm_wait_spins) {}
+        cm_(cm) {}
 
   const char* name() const noexcept override { return "OrecEagerRedo"; }
 
@@ -98,11 +96,9 @@ class OrecEagerRedoEngine final : public TxEngine {
   std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
   std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
   const std::uint32_t horizon_mask_;  // EngineConfig::mvcc_horizon_refresh
-  // Wait-based contention management (stm/contention.hpp): under
-  // kWaitTimeout a loser meeting a foreign lock parks on the orec before
-  // taking the abort path.
-  const ContentionMode cm_mode_;
-  const std::uint32_t cm_wait_spins_;
+  // Contention management (stm/contention.hpp): wait/abort mode, spin
+  // budget and the victim-choice policy bundle (DESIGN.md §§19-20).
+  const CmRuntime cm_;
 };
 
 }  // namespace votm::stm

@@ -22,6 +22,9 @@ void OrecEagerUndoEngine::begin(TxThread& tx) {
     tx.start_time = clock_.begin_snapshot();
   }
   begin_common(tx, this);
+  // Victim-choice CM: rank this attempt and publish the priority before
+  // anyone can meet our locks (DESIGN.md §20).
+  cm_on_begin(tx, cm_, tx.start_time);
   // After begin_common: conflict() needs tx.engine set to roll back.
   deadline_poll(tx);
 }
@@ -42,6 +45,9 @@ bool OrecEagerUndoEngine::read_log_valid(TxThread& tx,
 void OrecEagerUndoEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
   deadline_poll(tx);
+  // Honor a higher-priority loser's yield demand while conflict() is
+  // still clean (DESIGN.md §20).
+  cm_owner_poll(tx, cm_);
   const std::uint64_t now = clock_.extension_bound(observed);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
@@ -78,9 +84,10 @@ Word OrecEagerUndoEngine::read(TxThread& tx, const Word* addr) {
         Word retained;
         if (mvcc_read(tx, stripe, addr, &retained)) return retained;
       }
-      // kWaitTimeout: outwait the write-through holder; the in-place value
-      // becomes safely readable once the lock drops.
-      if (cm_wait_orec(tx, o, before, cm_mode_, cm_wait_spins_)) continue;
+      // Victim-choice CM: rank us against the write-through holder, then
+      // outwait or abort per the decision; the in-place value becomes
+      // safely readable once the lock drops.
+      if (cm_resolve_foreign_lock(tx, o, before, cm_)) continue;
       // Foreign lock covers an in-place SPECULATIVE value: never read it.
       tx.conflict(ConflictKind::kReadLocked);
     }
@@ -118,7 +125,7 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
     const Orec::Packed p = o.load();
     if (Orec::is_locked(p)) {
       if (Orec::owner_of(p) == &tx) break;
-      if (cm_wait_orec(tx, o, p, cm_mode_, cm_wait_spins_)) continue;
+      if (cm_resolve_foreign_lock(tx, o, p, cm_)) continue;
       tx.conflict(ConflictKind::kWriteLocked);
     }
     if (Orec::version_of(p) > tx.start_time) {
@@ -141,6 +148,7 @@ void OrecEagerUndoEngine::write(TxThread& tx, Word* addr, Word value) {
 void OrecEagerUndoEngine::commit(TxThread& tx) {
   VOTM_SCHED_POINT(kStmCommit);
   deadline_poll(tx);
+  cm_owner_poll(tx, cm_);
   if (tx.read_only) {
     // RO fast path: zero clock traffic, no write-set reset (never touched).
     tx.rlog.clear();

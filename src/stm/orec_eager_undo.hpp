@@ -34,8 +34,7 @@ class OrecEagerUndoEngine final : public TxEngine {
       std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
       std::uint32_t mvcc_horizon_refresh =
           OrecVersionRings::kHorizonRefreshPushes,
-      ContentionMode contention_mode = ContentionMode::kAbortRetry,
-      std::uint32_t cm_wait_spins = kCmWaitSpinsDefault)
+      CmRuntime cm = {})
       : clock_(clock_policy),
         orecs_(orec_table),
         mvcc_(mvcc),
@@ -43,8 +42,7 @@ class OrecEagerUndoEngine final : public TxEngine {
                                                          mvcc_ring_depth)
                     : nullptr),
         horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)),
-        cm_mode_(contention_mode),
-        cm_wait_spins_(cm_wait_spins) {}
+        cm_(cm) {}
 
   const char* name() const noexcept override { return "OrecEagerUndo"; }
 
@@ -89,11 +87,11 @@ class OrecEagerUndoEngine final : public TxEngine {
   std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
   std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
   const std::uint32_t horizon_mask_;  // EngineConfig::mvcc_horizon_refresh
-  // Wait-based contention management (stm/contention.hpp). Especially apt
-  // here: an abort pays the undo pass, so outwaiting a short commit-time
-  // hold saves the most expensive retry in the design square.
-  const ContentionMode cm_mode_;
-  const std::uint32_t cm_wait_spins_;
+  // Contention management (stm/contention.hpp). Especially apt here: an
+  // abort pays the undo pass, so both outwaiting a short commit-time hold
+  // and a victim choice that protects work already done (kKarma) save the
+  // most expensive retry in the design square (DESIGN.md §§19-20).
+  const CmRuntime cm_;
 };
 
 }  // namespace votm::stm

@@ -20,6 +20,9 @@ void OrecLazyEngine::begin(TxThread& tx) {
     tx.start_time = clock_.begin_snapshot();
   }
   begin_common(tx, this);
+  // Victim-choice CM: rank this attempt and publish the priority before
+  // the commit-time acquisition race can meet anyone (DESIGN.md §20).
+  cm_on_begin(tx, cm_, tx.start_time);
   // After begin_common: conflict() needs tx.engine set to roll back.
   deadline_poll(tx);
 }
@@ -40,6 +43,9 @@ bool OrecLazyEngine::read_log_valid(TxThread& tx,
 void OrecLazyEngine::extend(TxThread& tx, std::uint64_t observed) {
   VOTM_SCHED_POINT(kStmValidate);
   deadline_poll(tx);
+  // Mid-acquisition extensions run with commit locks held; honor a
+  // higher-priority loser's yield demand while conflict() is clean.
+  cm_owner_poll(tx, cm_);
   const std::uint64_t now = clock_.extension_bound(observed);
   if (!read_log_valid(tx, tx.start_time)) {
     tx.conflict(ConflictKind::kValidationFail);
@@ -146,14 +152,17 @@ void OrecLazyEngine::commit(TxThread& tx) {
   for (const WriteSet::Entry& e : tx.wset.entries()) {
     Orec& o = orecs_.for_address(e.addr);
     VOTM_SCHED_POINT(kStmCommitLock);
+    // Between per-orec acquisitions is the lazy engine's only window where
+    // it holds locks others may be parked on; poll the yield demand here.
+    cm_owner_poll(tx, cm_);
     for (;;) {
       const Orec::Packed p = o.load();
       if (Orec::is_locked(p)) {
         if (Orec::owner_of(p) == &tx) break;  // aliased earlier entry
-        // kWaitTimeout: the acquisition race is the lazy family's only
-        // foreign-lock conflict; by this point we may already hold locks,
-        // so the ordinal rule inside cm_wait_orec gates the wait.
-        if (cm_wait_orec(tx, o, p, cm_mode_, cm_wait_spins_)) continue;
+        // Victim-choice CM at the acquisition race — the lazy family's
+        // only foreign-lock conflict; by this point we may already hold
+        // locks, so the ordinal rule inside cm_wait_orec gates the wait.
+        if (cm_resolve_foreign_lock(tx, o, p, cm_)) continue;
         tx.conflict(ConflictKind::kCommitFail);
       }
       if (Orec::version_of(p) > tx.start_time) {

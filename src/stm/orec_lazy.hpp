@@ -32,8 +32,7 @@ class OrecLazyEngine final : public TxEngine {
       std::size_t mvcc_ring_depth = OrecVersionRings::kDefaultDepth,
       std::uint32_t mvcc_horizon_refresh =
           OrecVersionRings::kHorizonRefreshPushes,
-      ContentionMode contention_mode = ContentionMode::kAbortRetry,
-      std::uint32_t cm_wait_spins = kCmWaitSpinsDefault)
+      CmRuntime cm = {})
       : clock_(clock_policy),
         orecs_(orec_table),
         mvcc_(mvcc),
@@ -41,8 +40,7 @@ class OrecLazyEngine final : public TxEngine {
                                                          mvcc_ring_depth)
                     : nullptr),
         horizon_mask_(horizon_refresh_mask(mvcc_horizon_refresh)),
-        cm_mode_(contention_mode),
-        cm_wait_spins_(cm_wait_spins) {}
+        cm_(cm) {}
 
   const char* name() const noexcept override { return "OrecLazy"; }
 
@@ -87,11 +85,10 @@ class OrecLazyEngine final : public TxEngine {
   std::unique_ptr<OrecVersionRings> rings_;  // allocated iff mvcc_
   std::atomic<std::uint32_t> mvcc_commits_{0};  // horizon-refresh pacing
   const std::uint32_t horizon_mask_;  // EngineConfig::mvcc_horizon_refresh
-  // Wait-based contention management (stm/contention.hpp): here the only
-  // foreign-lock conflict is the commit-time acquisition race, so the wait
-  // applies at kCommitFail rather than the encounter points.
-  const ContentionMode cm_mode_;
-  const std::uint32_t cm_wait_spins_;
+  // Contention management (stm/contention.hpp): here the only foreign-lock
+  // conflict is the commit-time acquisition race, so both the wait and the
+  // victim choice apply at kCommitFail rather than the encounter points.
+  const CmRuntime cm_;
 };
 
 }  // namespace votm::stm

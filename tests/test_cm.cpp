@@ -1,0 +1,430 @@
+// Victim-choice contention management (ctest -L cm; DESIGN.md §20).
+//
+// Four layers of coverage:
+//   * knob sanitization — the factory's clamp-and-count treatment of the
+//     cm_policy / karma-cap / window-width knobs (zero, negative, huge and
+//     out-of-range-byte inputs), pinned through FactoryStats;
+//   * the padded priority-table protocol — publish/read/withdraw, the
+//     owner-tag "unknown means baseline" rule, and the yield-demand
+//     handshake (racy max, ties favor the incumbent, demands consumed
+//     exactly once);
+//   * the CmState lifecycle — karma accumulates across the conflict
+//     retries of ONE run (handle_abort keeps it) and resets at every
+//     terminal edge: commit (View::exit), a user exception
+//     (abort_for_exception), and a deadline refusing entry;
+//   * schedule-exploration campaigns — CmFairnessScenario across all
+//     victim-choice policies and the four contending engines (the seeded
+//     victim must commit within its fairness bound), the kCmVictimChoice
+//     priority-inversion mutation (the bound oracle must CATCH it, with a
+//     deterministically replayable schedule), and opacity under every
+//     policy (victim choice decides who retries, never what a committed
+//     history may read).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "core/access.hpp"
+#include "core/thread_ctx.hpp"
+#include "core/view.hpp"
+#include "stm/cm_policy.hpp"
+#include "stm/factory.hpp"
+
+namespace votm {
+namespace {
+
+using stm::CmPolicy;
+
+// ---------------------------------------------------------------------------
+// Knob sanitization (stm/factory.cpp)
+// ---------------------------------------------------------------------------
+
+TEST(CmSanitize, InvalidPolicyByteFallsBackToAbortSelf) {
+  const auto before = stm::factory_stats();
+  EXPECT_EQ(stm::sanitized_cm_policy(static_cast<CmPolicy>(0xEE)),
+            CmPolicy::kAbortSelf);
+  // Every in-range byte passes through untouched.
+  for (std::uint8_t b = 0; b < stm::kCmPolicyCount; ++b) {
+    EXPECT_EQ(stm::sanitized_cm_policy(static_cast<CmPolicy>(b)),
+              static_cast<CmPolicy>(b));
+  }
+  const auto after = stm::factory_stats();
+  EXPECT_EQ(after.cm_policy_fallbacks, before.cm_policy_fallbacks + 1);
+}
+
+TEST(CmSanitize, KarmaCapClampsZeroNegativeAndHuge) {
+  const auto before = stm::factory_stats();
+  EXPECT_EQ(stm::sanitized_cm_karma_cap(0), stm::kCmKarmaCapMin);
+  EXPECT_EQ(stm::sanitized_cm_karma_cap(-7), stm::kCmKarmaCapMin);
+  EXPECT_EQ(stm::sanitized_cm_karma_cap(std::numeric_limits<std::int64_t>::max()),
+            stm::kCmKarmaCapMax);
+  EXPECT_EQ(stm::sanitized_cm_karma_cap(1), std::uint64_t{1});
+  EXPECT_EQ(
+      stm::sanitized_cm_karma_cap(static_cast<std::int64_t>(stm::kCmKarmaCapMax)),
+      stm::kCmKarmaCapMax);
+  const auto after = stm::factory_stats();
+  EXPECT_EQ(after.cm_karma_clamps, before.cm_karma_clamps + 3);
+}
+
+TEST(CmSanitize, WindowWidthClampsIntoRange) {
+  const auto before = stm::factory_stats();
+  EXPECT_EQ(stm::sanitized_cm_window_size(0), stm::kCmWindowMin);
+  EXPECT_EQ(stm::sanitized_cm_window_size(1), stm::kCmWindowMin);
+  EXPECT_EQ(stm::sanitized_cm_window_size(-3), stm::kCmWindowMin);
+  EXPECT_EQ(stm::sanitized_cm_window_size(std::int64_t{1} << 40),
+            stm::kCmWindowMax);
+  EXPECT_EQ(stm::sanitized_cm_window_size(stm::kCmWindowDefault),
+            stm::kCmWindowDefault);
+  const auto after = stm::factory_stats();
+  EXPECT_EQ(after.cm_window_clamps, before.cm_window_clamps + 4);
+}
+
+TEST(CmSanitize, RuntimeBundleAndFactoryConstruction) {
+  stm::EngineConfig bad;
+  bad.cm_policy = static_cast<CmPolicy>(0x7F);
+  bad.cm_karma_cap = -1;
+  bad.cm_window_size = 0;
+  const stm::CmRuntime rt = stm::sanitized_cm_runtime(bad);
+  EXPECT_EQ(rt.policy, CmPolicy::kAbortSelf);
+  EXPECT_EQ(rt.karma_cap, stm::kCmKarmaCapMin);
+  EXPECT_EQ(rt.window_size, stm::kCmWindowMin);
+  // The repaired config still yields a working engine, never a throw.
+  auto engine = stm::make_engine(stm::Algo::kOrecEagerRedo, bad);
+  ASSERT_NE(engine, nullptr);
+
+  stm::EngineConfig good;
+  good.cm_policy = CmPolicy::kWindowGreedy;
+  good.cm_window_size = 16;
+  const stm::CmRuntime grt = stm::sanitized_cm_runtime(good);
+  EXPECT_EQ(grt.policy, CmPolicy::kWindowGreedy);
+  EXPECT_EQ(grt.window_size, 16u);
+  EXPECT_EQ(grt.karma_cap, stm::kCmKarmaCapDefault);
+}
+
+TEST(CmSanitize, PolicyFromStringAcceptsAliasesAndRejectsGarbage) {
+  CmPolicy p = CmPolicy::kAbortSelf;
+  EXPECT_TRUE(stm::cm_policy_from_string("karma", &p));
+  EXPECT_EQ(p, CmPolicy::kKarma);
+  EXPECT_TRUE(stm::cm_policy_from_string("greedy", &p));
+  EXPECT_EQ(p, CmPolicy::kTimestampGreedy);
+  EXPECT_TRUE(stm::cm_policy_from_string("Window-Greedy", &p));
+  EXPECT_EQ(p, CmPolicy::kWindowGreedy);
+  EXPECT_TRUE(stm::cm_policy_from_string("younger", &p));
+  EXPECT_EQ(p, CmPolicy::kAbortYounger);
+  EXPECT_TRUE(stm::cm_policy_from_string("self", &p));
+  EXPECT_EQ(p, CmPolicy::kAbortSelf);
+  EXPECT_FALSE(stm::cm_policy_from_string("fair-ish", &p));
+  // Round trip through to_string for every policy.
+  for (std::uint8_t b = 0; b < stm::kCmPolicyCount; ++b) {
+    const auto want = static_cast<CmPolicy>(b);
+    CmPolicy got = CmPolicy::kAbortSelf;
+    EXPECT_TRUE(stm::cm_policy_from_string(stm::to_string(want), &got));
+    EXPECT_EQ(got, want);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Priority-table protocol (stm/cm_policy.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(CmPriorityTable, PublishReadWithdraw) {
+  auto& table = stm::CmPriorityTable::instance();
+  table.reset();
+  int a = 0, b = 0;
+  std::uint64_t prio = 0;
+  EXPECT_FALSE(table.read(&a, &prio)) << "unpublished must read as unknown";
+  table.publish(&a, 42);
+  ASSERT_TRUE(table.read(&a, &prio));
+  EXPECT_EQ(prio, 42u);
+  table.publish(&a, 43);  // re-publish overwrites in place
+  ASSERT_TRUE(table.read(&a, &prio));
+  EXPECT_EQ(prio, 43u);
+  table.publish(&b, 7);  // an unrelated entry does not disturb the first
+  ASSERT_TRUE(table.read(&a, &prio));
+  EXPECT_EQ(prio, 43u);
+  table.withdraw(&a);
+  EXPECT_FALSE(table.read(&a, &prio))
+      << "a withdrawn entry must read as unknown, not as a stale rank";
+  table.reset();
+}
+
+TEST(CmPriorityTable, YieldDemandHandshake) {
+  auto& table = stm::CmPriorityTable::instance();
+  table.reset();
+  int a = 0;
+  table.publish(&a, 5);
+  // A demand at or below the owner's rank never kills it (ties favor the
+  // incumbent — no mutual-kill cycles), but the demand is still consumed.
+  table.request_yield(&a, 5);
+  EXPECT_FALSE(table.take_yield(&a, 5));
+  EXPECT_FALSE(table.take_yield(&a, 5)) << "demand must be consumed";
+  // A strictly higher demand fires exactly once.
+  table.request_yield(&a, 9);
+  EXPECT_TRUE(table.take_yield(&a, 5));
+  EXPECT_FALSE(table.take_yield(&a, 5));
+  // Racy max: the strongest concurrent demand wins.
+  table.request_yield(&a, 3);
+  table.request_yield(&a, 9);
+  table.request_yield(&a, 6);
+  EXPECT_TRUE(table.take_yield(&a, 8));
+  // clear_yield wipes a pending demand (fresh-run protection).
+  table.request_yield(&a, 9);
+  table.clear_yield(&a);
+  EXPECT_FALSE(table.take_yield(&a, 5));
+  // Demands aimed at an unpublished owner are dropped at the tag check.
+  int stranger = 0;
+  table.request_yield(&stranger, 9);
+  EXPECT_FALSE(table.take_yield(&stranger, 0));
+  table.reset();
+}
+
+TEST(CmState, EndRunResetsEverythingButTheRngStream) {
+  stm::CmState st;
+  st.karma = 10;
+  st.first_age = 3;
+  st.window_slot = 2;
+  st.priority = 99;
+  const std::uint64_t rng_before = st.rng;
+  (void)st.draw(1);  // the stream itself must advance...
+  EXPECT_NE(st.rng, rng_before);
+  const std::uint64_t rng_mid = st.rng;
+  st.end_run();
+  EXPECT_EQ(st.karma, 0u);
+  EXPECT_EQ(st.first_age, 0u);
+  EXPECT_EQ(st.window_slot, 0u);
+  EXPECT_EQ(st.priority, 0u);
+  // ...and survive end_run: re-seeding it would make consecutive runs of
+  // an identical transaction draw identical window slots forever.
+  EXPECT_EQ(st.rng, rng_mid);
+  // Same state, same salt => same draw (replay determinism).
+  stm::CmState x, y;
+  EXPECT_EQ(x.draw(5), y.draw(5));
+  EXPECT_NE(x.draw(5), x.draw(6));
+}
+
+// ---------------------------------------------------------------------------
+// CmState lifecycle through the View layer
+// ---------------------------------------------------------------------------
+
+core::ViewConfig small_view(stm::Algo algo, CmPolicy policy) {
+  core::ViewConfig vc;
+  vc.algo = algo;
+  vc.max_threads = 2;
+  vc.rac = core::RacMode::kFixed;
+  vc.fixed_quota = 2;  // stay transactional (quota 1 is lock mode)
+  vc.initial_bytes = 1 << 16;
+  vc.engine.cm_policy = policy;
+  return vc;
+}
+
+TEST(CmLifecycle, CommitResetsKarmaOnExit) {
+  core::View view(small_view(stm::Algo::kOrecEagerRedo, CmPolicy::kKarma));
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  stm::TxThread& tx = core::thread_ctx().tx;
+  view.execute([&] {
+    // Simulate karma accumulated by earlier conflict retries of this run.
+    tx.cm.karma = 7;
+    tx.cm.priority = 7;
+    core::vwrite<stm::Word>(cell, 1);
+  });
+  EXPECT_EQ(tx.cm.karma, 0u) << "View::exit must end the run";
+  EXPECT_EQ(tx.cm.priority, 0u);
+}
+
+TEST(CmLifecycle, UserExceptionResetsKarma) {
+  core::View view(small_view(stm::Algo::kOrecEagerRedo, CmPolicy::kKarma));
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  stm::TxThread& tx = core::thread_ctx().tx;
+  struct Boom {};
+  EXPECT_THROW(view.execute([&] {
+                 tx.cm.karma = 5;
+                 core::vwrite<stm::Word>(cell, 2);
+                 throw Boom{};
+               }),
+               Boom);
+  EXPECT_EQ(tx.cm.karma, 0u)
+      << "abort_for_exception must not leak priority into the next run";
+  EXPECT_EQ(tx.cm.priority, 0u);
+}
+
+TEST(CmLifecycle, RefusedDeadlineEntryResetsKarma) {
+  core::View view(small_view(stm::Algo::kOrecEagerRedo, CmPolicy::kKarma));
+  stm::TxThread& tx = core::thread_ctx().tx;
+  tx.cm.karma = 9;
+  tx.cm.priority = 9;
+  bool ran = false;
+  EXPECT_THROW(
+      view.run_until(Deadline::after(std::chrono::nanoseconds{0}),
+                     [&] { ran = true; }),
+      stm::DeadlineExceeded);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(tx.cm.karma, 0u)
+      << "a budget failure must not arm the thread's next unrelated run";
+  EXPECT_EQ(tx.cm.priority, 0u);
+}
+
+}  // namespace
+}  // namespace votm
+
+// ---------------------------------------------------------------------------
+// Fault-driven retry persistence + exploration campaigns (need the check
+// harness; compiled to a skip otherwise, like tests/test_fault.cpp).
+// ---------------------------------------------------------------------------
+
+#include "check/sched_point.hpp"
+
+#if defined(VOTM_SCHED_POINTS) && VOTM_SCHED_POINTS
+
+#include "check/explore.hpp"
+#include "check/fault.hpp"
+#include "check/scenarios.hpp"
+
+namespace votm::check {
+namespace {
+
+using stm::CmPolicy;
+
+// Karma must SURVIVE handle_abort: it is the accumulator that makes the
+// policy fair across the retries of one run. A single injected commit-tail
+// loss forces exactly one retry; the second attempt must see the karma the
+// first one earned, and the commit must still reset it.
+TEST(CmLifecycle, KarmaPersistsAcrossConflictRetries) {
+  core::View view(
+      votm::small_view(stm::Algo::kOrecEagerRedo, CmPolicy::kKarma));
+  auto* cell = static_cast<stm::Word*>(view.alloc(sizeof(stm::Word)));
+  stm::TxThread& tx = core::thread_ctx().tx;
+  FaultPlan one;
+  one.fire = 1;
+  FaultGuard guard(FaultSite::kOrecEagerRedoCommitTail, one);
+  unsigned attempts = 0;
+  std::uint64_t karma_on_retry = 0;
+  view.execute([&] {
+    if (++attempts == 2) karma_on_retry = tx.cm.karma;
+    core::vwrite<stm::Word>(cell, attempts);
+  });
+  ASSERT_EQ(attempts, 2u) << "the injected loss must force one retry";
+  EXPECT_GT(karma_on_retry, 0u)
+      << "handle_abort wiped the karma the aborted attempt earned";
+  EXPECT_EQ(tx.cm.karma, 0u) << "commit must still end the run";
+}
+
+constexpr stm::Algo kCmEngines[] = {
+    stm::Algo::kOrecEagerRedo,
+    stm::Algo::kOrecLazy,
+    stm::Algo::kOrecEagerUndo,
+    stm::Algo::kNOrec,
+};
+
+constexpr CmPolicy kVictimPolicies[] = {
+    CmPolicy::kAbortYounger,
+    CmPolicy::kKarma,
+    CmPolicy::kTimestampGreedy,
+    CmPolicy::kWindowGreedy,
+};
+
+// Fairness: a victim seeded with losses must commit within its bound under
+// every victim-choice policy on every contending engine — and the seeding
+// fault must actually have fired (campaign-level vacuity).
+TEST(CmFairness, PoliciesHoldTheBoundAcrossEngines) {
+  for (const stm::Algo algo : kCmEngines) {
+    for (const CmPolicy policy : kVictimPolicies) {
+      CmFairnessConfig cfg;
+      cfg.algo = algo;
+      cfg.cm_policy = policy;
+      CmFairnessScenario scenario(cfg);
+      const auto report = explore_random(scenario, 20, 0xC3A1);
+      EXPECT_TRUE(report.clean())
+          << stm::to_string(algo) << "/" << stm::to_string(policy)
+          << " :: " << report.repro;
+      EXPECT_GT(scenario.seed_triggers(), 0u)
+          << "vacuous campaign: the seeding fault never fired for "
+          << stm::to_string(algo) << "/" << stm::to_string(policy);
+    }
+  }
+}
+
+// The baseline has no bound to defend, but its books must still balance
+// while the seeded victim fights through unaided.
+TEST(CmFairness, AbortSelfBaselineKeepsItsBooks) {
+  CmFairnessConfig cfg;
+  cfg.cm_policy = CmPolicy::kAbortSelf;
+  CmFairnessScenario scenario(cfg);
+  const auto report = explore_random(scenario, 20, 0xC3A2);
+  EXPECT_TRUE(report.clean()) << report.repro;
+  EXPECT_GT(scenario.seed_triggers(), 0u);
+}
+
+// Mutation: the victim's victim-choice decisions collapse to baseline
+// (kCmVictimChoice, marked on the victim). The fairness bound must CATCH
+// the inversion with a deterministically replayable schedule — and the
+// identical configuration WITHOUT the mutation must survive the same
+// exploration budget clean, so the detection is the mutation's doing, not
+// a trigger-happy bound.
+TEST(CmFairness, PriorityInversionIsCaughtAndReplayable) {
+  CmFairnessConfig cfg;
+  cfg.algo = stm::Algo::kOrecEagerRedo;
+  cfg.cm_policy = CmPolicy::kKarma;
+  cfg.peer_rounds = 12;
+  cfg.peer_pad_reads = 3;
+
+  CmFairnessConfig control = cfg;
+  CmFairnessScenario clean_scenario(control);
+  const auto clean_report = explore_random(clean_scenario, 150, 0x1C4);
+  EXPECT_TRUE(clean_report.clean())
+      << "the bound fired without the mutation: " << clean_report.repro;
+
+  cfg.invert = true;
+  CmFairnessScenario scenario(cfg);
+  const auto report = explore_random(scenario, 400, 0x1C4);
+  ASSERT_FALSE(report.clean())
+      << "priority-inversion mutant survived " << report.runs << " schedules";
+  EXPECT_GT(scenario.invert_triggers(), 0u);
+  EXPECT_NE(report.repro.find("votm-check repro:"), std::string::npos);
+  ASSERT_FALSE(report.schedule.empty());
+
+  const auto replay = replay_schedule(scenario, report.schedule);
+  ASSERT_FALSE(replay.clean()) << "replay lost the violation";
+  EXPECT_EQ(replay.violation->what, report.violation->what);
+}
+
+// Opacity: victim choice decides WHO retries, never what a committed
+// history may read. The conflict-heavy random workload must stay opaque
+// under every policy, on its own and composed with wait-CM.
+TEST(CmOpacity, PoliciesStayOpaqueAcrossEngines) {
+  for (const stm::Algo algo : kCmEngines) {
+    for (const CmPolicy policy : kVictimPolicies) {
+      StmRandomConfig cfg;
+      cfg.algo = algo;
+      cfg.cm_policy = policy;
+      cfg.threads = 3;
+      cfg.vars = 2;  // conflict-heavy: everyone fights over two words
+      cfg.write_pct = 80;
+      StmRandomScenario scenario(cfg);
+      const auto report = explore_random(scenario, 20, 0x0C3);
+      EXPECT_TRUE(report.clean())
+          << stm::to_string(algo) << "/" << stm::to_string(policy)
+          << " :: " << report.repro;
+    }
+  }
+}
+
+TEST(CmOpacity, PoliciesComposeWithWaitTimeout) {
+  for (const CmPolicy policy : kVictimPolicies) {
+    StmRandomConfig cfg;
+    cfg.algo = stm::Algo::kOrecEagerRedo;
+    cfg.cm_policy = policy;
+    cfg.contention_mode = stm::ContentionMode::kWaitTimeout;
+    cfg.threads = 3;
+    cfg.vars = 2;
+    cfg.write_pct = 80;
+    StmRandomScenario scenario(cfg);
+    const auto report = explore_random(scenario, 25, 0x0C4);
+    EXPECT_TRUE(report.clean())
+        << "wait+" << stm::to_string(policy) << " :: " << report.repro;
+  }
+}
+
+}  // namespace
+}  // namespace votm::check
+
+#endif  // VOTM_SCHED_POINTS
